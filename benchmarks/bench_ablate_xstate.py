@@ -1,0 +1,62 @@
+"""Ablation: Meta-XState indirection vs the §3.4 strawman.
+
+The strawman pre-registers, for every XState *type*, instances at the
+maximum allowed size.  The Meta-XState design allocates exactly what
+each runtime request needs from one scratchpad, at the cost of one
+indirection qword per instance.  This bench quantifies the memory
+trade on a realistic mix of map geometries.
+"""
+
+from repro import params
+from repro.core.xstate import RemoteScratchpad, XStateSpec
+from repro.ebpf.maps import MapType
+from repro.exp.harness import format_table
+
+#: A runtime mix: mostly small counters, a few mid-size tables.
+WORKLOAD = (
+    [XStateSpec(f"ctr{i}", MapType.ARRAY, 4, 8, 16) for i in range(24)]
+    + [XStateSpec(f"tbl{i}", MapType.HASH, 8, 64, 256) for i in range(6)]
+    + [XStateSpec(f"big{i}", MapType.HASH, 16, 256, 1024) for i in range(2)]
+)
+
+#: The strawman's "maximal allowed size" per type.
+STRAWMAN_MAX_ENTRIES = 4_096
+STRAWMAN_VALUE_SIZE = 256
+STRAWMAN_KEY_SIZE = 16
+STRAWMAN_INSTANCES = 32  # registered slots per type at boot
+
+
+def run_ablation():
+    pad = RemoteScratchpad(0x10000, 64 << 20)
+    for spec in WORKLOAD:
+        pad.allocate(spec)
+    meta_overhead = params.XSTATE_META_SLOTS * params.XSTATE_META_ENTRY_BYTES
+    indirection_bytes = pad.bytes_live + meta_overhead
+
+    strawman_slot = (
+        8 + STRAWMAN_KEY_SIZE + STRAWMAN_VALUE_SIZE
+    ) * STRAWMAN_MAX_ENTRIES
+    strawman_bytes = strawman_slot * STRAWMAN_INSTANCES
+    return indirection_bytes, strawman_bytes, len(WORKLOAD)
+
+
+def test_bench_ablate_xstate(benchmark):
+    indirection, strawman, count = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            "Ablation: XState memory, Meta-indirection vs strawman",
+            ["design", "bytes reserved", "instances"],
+            [
+                ("Meta-XState indirection", indirection, count),
+                ("strawman (max-size pools)", strawman, STRAWMAN_INSTANCES),
+            ],
+            note=(
+                f"waste factor {strawman / indirection:.0f}x; indirection "
+                "adds one qword per instance and one pointer chase per access"
+            ),
+        )
+    )
+    assert indirection * 10 < strawman

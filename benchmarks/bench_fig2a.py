@@ -1,0 +1,37 @@
+"""Regenerates Fig 2a: agent eBPF injection overhead vs program size.
+
+Paper series: millisecond-level injection even at 1.3K instructions,
+growing superlinearly to ~100+ ms at 80K; verification + JIT are
+90+% of the total (§2.2 Obs 1).
+"""
+
+from repro.exp.fig2a import PAPER, run_fig2a
+from repro.exp.harness import format_table
+
+SIZES = (1_300, 11_000, 26_000, 49_000, 76_000)
+
+
+def test_bench_fig2a(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig2a(sizes=SIZES, repeats=3), rounds=1, iterations=1
+    )
+    rows = [
+        (
+            point.insn_size,
+            point.mean_inject_us / 1000.0,
+            f"{point.verify_jit_share * 100:.1f}%",
+        )
+        for point in result.points
+    ]
+    print()
+    print(
+        format_table(
+            "Fig 2a -- agent injection overhead vs instruction size",
+            ["insns", "inject (ms)", "verify+JIT share"],
+            rows,
+            note=f"paper: {PAPER['claim']}; share >= 90%",
+        )
+    )
+    assert result.points[0].mean_inject_us >= 1_000
+    assert result.points[-1].mean_inject_us > result.points[0].mean_inject_us * 20
+    assert all(p.verify_jit_share >= PAPER["verify_jit_share_min"] for p in result.points)

@@ -1,0 +1,41 @@
+"""Regenerates Fig 2b: update inconsistency across the four paper apps.
+
+Paper series: apps of 4/11/17/33 microservices; eBPF and Wasm rollouts
+both leave inconsistency windows growing with app size, reaching
+hundreds of ms below 20 microservices (§2.2 Obs 2).
+"""
+
+from repro.exp.fig2b import PAPER, run_fig2b
+from repro.exp.harness import format_table
+
+
+def test_bench_fig2b(benchmark):
+    result = benchmark.pedantic(run_fig2b, rounds=1, iterations=1)
+    rows = [
+        (
+            point.app,
+            point.n_services,
+            point.family,
+            point.window_us / 1000.0,
+            point.update_interval_us / 1000.0,
+            point.violations,
+            point.mixed_requests,
+        )
+        for point in result.points
+    ]
+    print()
+    print(
+        format_table(
+            "Fig 2b -- rollout inconsistency window per app",
+            ["app", "services", "family", "window (ms)", "interval (ms)",
+             "violations", "mixed reqs"],
+            rows,
+            note=f"paper: {PAPER['claim']}",
+        )
+    )
+    for family in ("ebpf", "wasm"):
+        series = [ms for _n, ms in result.series(family)]
+        assert series == sorted(series)  # grows with app size
+    # Hundreds of ms below 20 services (app3 = 17 services).
+    app3 = [p for p in result.points if p.n_services == 17]
+    assert any(p.window_us > 50_000 for p in app3)

@@ -1,0 +1,37 @@
+"""Regenerates Fig 2c: data-path completion under injection contention.
+
+Paper series: completion rate with vs without concurrent extension
+injection across offered loads of 0-400 req/s; near saturation the
+completion rate roughly halves (§2.2 Obs 3).
+"""
+
+from repro.exp.fig2c import PAPER, run_fig2c
+from repro.exp.harness import format_table
+
+
+def test_bench_fig2c(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig2c(rates=(100, 200, 300, 400), duration_us=800_000),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            point.offered_req_s,
+            point.completion_no_contention,
+            point.completion_with_contention,
+            f"{point.degradation * 100:.0f}%",
+        )
+        for point in result.points
+    ]
+    print()
+    print(
+        format_table(
+            "Fig 2c -- request completion vs offered load",
+            ["offered req/s", "w/o contention", "w/ contention", "degradation"],
+            rows,
+            note=f"paper: {PAPER['claim']}",
+        )
+    )
+    assert result.points[0].degradation < 0.15  # no impact off-peak
+    assert result.max_degradation() > 0.35  # near-halving at saturation

@@ -1,0 +1,40 @@
+"""Regenerates Fig 4a: eBPF program load overhead, Agent vs RDX.
+
+Paper series: across BPF-selftest stress programs of 1.3K-95K
+instructions, RDX reduces injection completion time by 47x-1982x (§6).
+"""
+
+from repro.ebpf.stress import STRESS_SIZES
+from repro.exp.fig4a import PAPER, run_fig4a
+from repro.exp.harness import format_table
+
+
+def test_bench_fig4a(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig4a(sizes=STRESS_SIZES, repeats=3), rounds=1, iterations=1
+    )
+    rows = [
+        (
+            point.insn_size,
+            point.agent_us / 1000.0,
+            point.rdx_us,
+            f"{point.speedup:.0f}x",
+        )
+        for point in result.points
+    ]
+    print()
+    print(
+        format_table(
+            "Fig 4a -- injection completion time, Agent vs RDX",
+            ["insns", "agent (ms)", "RDX (us)", "speedup"],
+            rows,
+            note=(
+                f"paper: {PAPER['speedup_min']:.0f}x ~ "
+                f"{PAPER['speedup_max']:.0f}x across 1.3K-95K insns"
+            ),
+        )
+    )
+    speedups = result.speedups()
+    assert speedups == sorted(speedups)  # grows with size
+    assert 30 <= speedups[0] <= 80  # ~47x at 1.3K
+    assert 1_300 <= speedups[-1] <= 2_600  # ~1982x at 95K

@@ -1,0 +1,31 @@
+"""Regenerates Fig 4b: injection time breakdown at 1.3K instructions.
+
+Paper: the agent path decomposes into verify / JIT compile / other,
+with verify+JIT >= 90%; the RDX path contains neither phase (§6).
+"""
+
+from repro.exp.fig4b import PAPER, run_fig4b
+from repro.exp.harness import format_table
+
+
+def test_bench_fig4b(benchmark):
+    result = benchmark.pedantic(run_fig4b, rounds=1, iterations=1)
+    rows = [
+        ("agent", phase, us) for phase, us in result.agent_phases_us.items()
+    ] + [("rdx", phase, us) for phase, us in result.rdx_phases_us.items()]
+    print()
+    print(
+        format_table(
+            f"Fig 4b -- per-phase breakdown at {result.insn_size} insns (us)",
+            ["path", "phase", "time (us)"],
+            rows,
+            note=(
+                f"agent verify+JIT share: "
+                f"{result.agent_verify_jit_share * 100:.1f}% "
+                f"(paper: >= {PAPER['verify_jit_share_min'] * 100:.0f}%)"
+            ),
+        )
+    )
+    assert result.agent_verify_jit_share >= PAPER["verify_jit_share_min"]
+    assert "verify" not in result.rdx_phases_us
+    assert result.rdx_total_us < result.agent_total_us / 20

@@ -1,0 +1,38 @@
+"""Regenerates Fig 5: incoherence time, vanilla RDMA vs RDX sync.
+
+Paper series: median incoherence up to ~746 us at CPKI=5 without sync
+primitives, decaying with cache pressure; ~2 us flat with
+rdx_tx + rdx_cc_event (§3.5, §6).
+"""
+
+from repro.exp.fig5 import PAPER, run_fig5
+from repro.exp.harness import format_table
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig5(cpki_levels=(5, 10, 15, 20, 25, 30, 35, 40), trials=31),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (point.cpki, point.vanilla_median_us, point.rdx_median_us)
+        for point in result.points
+    ]
+    print()
+    print(
+        format_table(
+            "Fig 5 -- median incoherence time vs CPKI",
+            ["CPKI", "vanilla RDMA (us)", "RDX (us)"],
+            rows,
+            note=(
+                f"paper: vanilla up to ~{PAPER['vanilla_max_us']:.0f} us at "
+                f"low CPKI; RDX ~{PAPER['rdx_us']:.0f} us at every level"
+            ),
+        )
+    )
+    low = result.points[0]
+    assert 400 <= low.vanilla_median_us <= 1_200  # ~746 us at CPKI 5
+    vanilla = [p.vanilla_median_us for p in result.points]
+    assert vanilla[-1] < vanilla[0] / 3  # decays with CPKI
+    assert all(p.rdx_median_us < 10 for p in result.points)  # ~2 us flat

@@ -1,0 +1,41 @@
+"""Regenerates the §4 collective-update claim: microsecond-scale,
+transactionally consistent cluster rollout with a practical BBU buffer.
+
+The paper's §2.2 sizing example: a 10M req/s application under a
+100 ms agent-style update window must buffer ~1M requests -- infeasible.
+The same application under RDX's microsecond bubble buffers a handful.
+"""
+
+from repro.exp.harness import format_table
+from repro.exp.tab_broadcast import PAPER, run_tab_broadcast
+
+
+def test_bench_tab_broadcast(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_tab_broadcast(group_sizes=(2, 4, 8, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            row.group_size,
+            row.bubble_window_us,
+            row.total_us,
+            f"{row.bbu_buffer_requests:.0f}",
+            f"{row.agent_buffer_requests:,.0f}",
+        )
+        for row in result.rows
+    ]
+    print()
+    print(
+        format_table(
+            "rdx_broadcast: bubble window and BBU buffer sizing",
+            ["nodes", "bubble (us)", "total (us)", "RDX buffer @10M req/s",
+             "agent buffer @10M req/s"],
+            rows,
+            note=f"paper: {PAPER['claim']}",
+        )
+    )
+    for row in result.rows:
+        assert row.bubble_window_us < 2_000  # microsecond-scale
+        assert row.bbu_buffer_requests < row.agent_buffer_requests / 50

@@ -1,0 +1,75 @@
+"""Supplementary: per-query UDF injection, local vs RDX (§2.2 Obs 1).
+
+The paper motivates microsecond injection with "short-lived per-query
+UDF extensions": at per-query cadence, injection latency gates query
+latency.  This bench runs a stream of small scan queries under both
+injection paths and reports the injection share of total query time.
+"""
+
+from repro.exp.harness import format_table
+from repro.net.topology import Host
+from repro.sim.core import Simulator
+from repro.udf.engine import Query, QueryEngine
+from repro.udf.expr import Arg, BinOp, Call, Const
+
+N_QUERIES = 40
+
+
+def make_engine():
+    sim = Simulator()
+    host = Host(sim, "db", cores=8, dram_bytes=1 << 22)
+    engine = QueryEngine(host, row_width=4)
+    engine.load_table("t", [(i, i * 7, i % 13, 5) for i in range(200)])
+    return sim, engine
+
+
+def the_udf():
+    return Call("clamp", BinOp("*", Arg(0), Const(3)), Const(10), Arg(1))
+
+
+def run_local():
+    sim, engine = make_engine()
+    inject_total = scan_total = 0.0
+    for _ in range(N_QUERIES):
+        result = sim.run_process(
+            engine.run_query_local(Query(udf=the_udf(), table="t"))
+        )
+        inject_total += result.inject_us
+        scan_total += result.scan_us
+    return inject_total / N_QUERIES, scan_total / N_QUERIES
+
+
+def run_rdx():
+    sim, engine = make_engine()
+    inject_total = scan_total = 0.0
+    for _ in range(N_QUERIES):
+        result = sim.run_process(
+            engine.run_query_rdx(Query(udf=the_udf(), table="t"), udf_key="u1")
+        )
+        inject_total += result.inject_us
+        scan_total += result.scan_us
+    return inject_total / N_QUERIES, scan_total / N_QUERIES
+
+
+def test_bench_udf_pipeline(benchmark):
+    results = benchmark.pedantic(
+        lambda: (run_local(), run_rdx()), rounds=1, iterations=1
+    )
+    (local_inject, local_scan), (rdx_inject, rdx_scan) = results
+    rows = [
+        ("local (agent-style)", local_inject, local_scan,
+         f"{local_inject / (local_inject + local_scan) * 100:.0f}%"),
+        ("RDX (cached binary)", rdx_inject, rdx_scan,
+         f"{rdx_inject / (rdx_inject + rdx_scan) * 100:.0f}%"),
+    ]
+    print()
+    print(
+        format_table(
+            "Per-query UDF injection vs scan time (mean us/query)",
+            ["path", "inject (us)", "scan (us)", "inject share"],
+            rows,
+            note="paper §2.2: per-query UDFs need microsecond injection",
+        )
+    )
+    assert rdx_inject < local_inject / 3
+    assert rdx_scan == local_scan  # same functional work

@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's figures/tables and
+prints a paper-vs-measured table.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(The ``-s`` lets the regenerated tables reach your terminal.)
+"""

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Case study: short-lived per-query UDF extensions (§2.2 Obs 1).
+
+A data-processing engine receives queries that each carry a UDF.  The
+UDF must be validated, compiled, and injected *per query* -- so the
+injection path gates query latency.  Local (agent-style) injection
+pays validation+compilation every time; RDX injects a cached binary
+in microseconds.
+
+Run:  python examples/udf_per_query.py
+"""
+
+from repro.net.topology import Host
+from repro.sim.core import Simulator
+from repro.udf import Arg, BinOp, Call, Const, Query, QueryEngine
+
+QUERIES = 25
+
+
+def make_engine():
+    sim = Simulator()
+    host = Host(sim, "warehouse", cores=8, dram_bytes=1 << 22)
+    engine = QueryEngine(host, row_width=4)
+    engine.load_table(
+        "orders",
+        [(i, (i * 37) % 500, (i * 11) % 97, 3) for i in range(500)],
+    )
+    return sim, engine
+
+
+def price_udf():
+    # clamp(qty * unit_price, 10, discount_cap + 50)
+    return Call(
+        "clamp",
+        BinOp("*", Arg(0), Const(3)),
+        Const(10),
+        BinOp("+", Arg(1), Const(50)),
+    )
+
+
+def main() -> None:
+    print(f"{QUERIES} queries, each shipping the same per-query UDF\n")
+
+    sim, engine = make_engine()
+    local_inject = 0.0
+    for _ in range(QUERIES):
+        result = sim.run_process(
+            engine.run_query_local(Query(udf=price_udf(), table="orders"))
+        )
+        local_inject += result.inject_us
+    print(f"local injection:  {local_inject / QUERIES:8.1f} us/query "
+          "(validate + compile every time)")
+
+    sim, engine = make_engine()
+    rdx_inject = 0.0
+    for index in range(QUERIES):
+        result = sim.run_process(
+            engine.run_query_rdx(
+                Query(udf=price_udf(), table="orders"), udf_key="price_v1"
+            )
+        )
+        if index > 0:  # skip the one-time compile
+            rdx_inject += result.inject_us
+    rdx_mean = rdx_inject / (QUERIES - 1)
+    print(f"RDX injection:    {rdx_mean:8.1f} us/query "
+          "(cached binary, one-sided write)")
+
+    reference = QueryEngine.reference(
+        Query(udf=price_udf(), table="orders"), engine.tables["orders"]
+    )
+    print(f"\nresults identical to reference evaluator: "
+          f"{result.values == reference}")
+    print(f"injection speedup: {local_inject / QUERIES / rdx_mean:.0f}x -- "
+          "per-query extensions become practical at RDMA speed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro -- a reproduction of "Remote Direct Code Execution" (HotNets '25).
+
+RDX elevates RDMA from remote memory access to remote *code* execution
+for runtime-extension frameworks (eBPF, Wasm filters, UDFs), replacing
+per-node agents with a remote control plane driving one-sided verbs.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.net import Cluster
+    from repro.sandbox import Sandbox
+    from repro.core import RdxControlPlane
+    from repro.core.api import bootstrap_sandbox, rdx_create_codeflow, rdx_deploy_prog
+    from repro.ebpf import make_stress_program
+
+    sim = Simulator()
+    cluster = Cluster(sim, n_hosts=1)
+    sandbox = Sandbox(cluster.hosts[0], hooks=("ingress",))
+    bootstrap_sandbox(sandbox)
+    control = RdxControlPlane(cluster.control_host)
+
+    def main():
+        handle = yield from rdx_create_codeflow(control, sandbox)
+        report = yield from rdx_deploy_prog(
+            handle, make_stress_program(1_300), "ingress")
+        return report
+
+    report = sim.run_process(main())
+    print(f"injected in {report.total_us:.1f} us")
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every figure and table.
+"""
+
+__version__ = "1.0.0"
+
+from repro import params
+from repro.errors import (
+    ConsistencyError,
+    DeployError,
+    JitError,
+    LinkError,
+    ProtectionError,
+    RdmaError,
+    ReproError,
+    SandboxCrash,
+    SandboxError,
+    SecurityError,
+    VerifierError,
+    WorkloadError,
+    XStateError,
+)
+
+__all__ = [
+    "ConsistencyError",
+    "DeployError",
+    "JitError",
+    "LinkError",
+    "ProtectionError",
+    "RdmaError",
+    "ReproError",
+    "SandboxCrash",
+    "SandboxError",
+    "SecurityError",
+    "VerifierError",
+    "WorkloadError",
+    "XStateError",
+    "__version__",
+    "params",
+]

@@ -1,0 +1,24 @@
+"""The agent-based baseline (paper Fig 1a, §2).
+
+Each node runs a user-space agent daemon that receives extension specs
+from a central controller over RPC, then validates, JIT-compiles,
+links, and attaches them **on the local host's CPU** -- sharing cores
+with the data path.  This package reproduces all three §2.2 pathologies:
+
+* millisecond injection delay dominated by verify+JIT (Obs 1),
+* eventual-consistency rollouts with long mixed-logic windows (Obs 2),
+* mutual control/data-path contention and lockout (Obs 3).
+"""
+
+from repro.agent.daemon import AgentStats, NodeAgent
+from repro.agent.controller import AgentController, PushResult
+from repro.agent.rollout import RolloutPlan, RolloutResult
+
+__all__ = [
+    "AgentController",
+    "AgentStats",
+    "NodeAgent",
+    "PushResult",
+    "RolloutPlan",
+    "RolloutResult",
+]

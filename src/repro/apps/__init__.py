@@ -1,0 +1,19 @@
+"""Workload applications used by the evaluation.
+
+* :mod:`~repro.apps.rediskv` -- a Redis-like in-memory KV server whose
+  throughput the agent "tax" (injection + XState polling) degrades by
+  ~25% (paper §6).
+* :mod:`~repro.apps.serverless` -- warm-pool auto-scaling where filter
+  reload is the scale-out bottleneck the RDX migration path removes
+  (paper §4).
+"""
+
+from repro.apps.rediskv import RedisLikeServer, RedisLoadResult
+from repro.apps.serverless import ScaleOutReport, WarmPool
+
+__all__ = [
+    "RedisLikeServer",
+    "RedisLoadResult",
+    "ScaleOutReport",
+    "WarmPool",
+]

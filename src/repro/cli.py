@@ -1,0 +1,214 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig4a
+    python -m repro.cli fig5 --quick
+    python -m repro.cli all --quick
+
+``--quick`` shrinks sweeps for a fast smoke run; the default settings
+match `benchmarks/`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.exp import (
+    format_table,
+    run_fig2a,
+    run_fig2b,
+    run_fig2c,
+    run_fig4a,
+    run_fig4b,
+    run_fig5,
+    run_tab_broadcast,
+    run_tab_mesh,
+    run_tab_redis,
+    run_tab_rollback,
+)
+
+
+def _fig2a(quick: bool) -> str:
+    sizes = (1_300, 11_000) if quick else (1_300, 11_000, 26_000, 49_000, 76_000)
+    result = run_fig2a(sizes=sizes, repeats=2 if quick else 3)
+    return format_table(
+        "Fig 2a -- agent injection overhead",
+        ["insns", "inject (ms)", "verify+JIT share"],
+        [
+            (p.insn_size, p.mean_inject_us / 1000.0,
+             f"{p.verify_jit_share * 100:.1f}%")
+            for p in result.points
+        ],
+    )
+
+
+def _fig2b(quick: bool) -> str:
+    apps = (("app1", 4), ("app2", 11)) if quick else None
+    kwargs = {"apps": apps} if apps else {}
+    if quick:
+        kwargs.update(ebpf_insns=3_000, wasm_padding=500)
+    result = run_fig2b(**kwargs)
+    return format_table(
+        "Fig 2b -- rollout inconsistency window",
+        ["app", "services", "family", "window (ms)", "violations"],
+        [
+            (p.app, p.n_services, p.family, p.window_us / 1000.0, p.violations)
+            for p in result.points
+        ],
+    )
+
+
+def _fig2c(quick: bool) -> str:
+    duration = 400_000 if quick else 800_000
+    result = run_fig2c(rates=(100, 200, 300, 400), duration_us=duration)
+    return format_table(
+        "Fig 2c -- completion under injection contention",
+        ["offered req/s", "clean", "contended", "degradation"],
+        [
+            (p.offered_req_s, p.completion_no_contention,
+             p.completion_with_contention, f"{p.degradation * 100:.0f}%")
+            for p in result.points
+        ],
+    )
+
+
+def _fig4a(quick: bool) -> str:
+    sizes = (1_300, 11_000) if quick else (1_300, 11_000, 26_000, 49_000,
+                                           76_000, 95_000)
+    result = run_fig4a(sizes=sizes, repeats=2 if quick else 3)
+    return format_table(
+        "Fig 4a -- Agent vs RDX injection",
+        ["insns", "agent (ms)", "RDX (us)", "speedup"],
+        [
+            (p.insn_size, p.agent_us / 1000.0, p.rdx_us, f"{p.speedup:.0f}x")
+            for p in result.points
+        ],
+    )
+
+
+def _fig4b(quick: bool) -> str:
+    result = run_fig4b()
+    rows = [("agent", k, v) for k, v in result.agent_phases_us.items()]
+    rows += [("rdx", k, v) for k, v in result.rdx_phases_us.items()]
+    return format_table(
+        f"Fig 4b -- breakdown at {result.insn_size} insns",
+        ["path", "phase", "us"],
+        rows,
+        note=f"agent verify+JIT share {result.agent_verify_jit_share * 100:.1f}%",
+    )
+
+
+def _fig5(quick: bool) -> str:
+    levels = (5, 20, 40) if quick else (5, 10, 15, 20, 25, 30, 35, 40)
+    result = run_fig5(cpki_levels=levels, trials=15 if quick else 31)
+    return format_table(
+        "Fig 5 -- incoherence vs CPKI",
+        ["CPKI", "vanilla (us)", "RDX (us)"],
+        [
+            (p.cpki, p.vanilla_median_us, p.rdx_median_us)
+            for p in result.points
+        ],
+    )
+
+
+def _tab_redis(quick: bool) -> str:
+    result = run_tab_redis(duration_us=150_000 if quick else 300_000)
+    return format_table(
+        "Redis throughput",
+        ["deployment", "ops/s"],
+        [("agent", result.agent_ops_s), ("RDX", result.rdx_ops_s)],
+        note=f"improvement {result.improvement_pct:.1f}%",
+    )
+
+
+def _tab_mesh(quick: bool) -> str:
+    result = run_tab_mesh(duration_us=200_000 if quick else 400_000)
+    return format_table(
+        "Mesh completion under filter churn",
+        ["deployment", "req/s"],
+        [
+            ("agents", result.agent_completion_s),
+            ("RDX", result.rdx_completion_s),
+        ],
+        note=f"improvement {result.improvement_pct:.1f}%",
+    )
+
+
+def _tab_broadcast(quick: bool) -> str:
+    sizes = (2, 4) if quick else (2, 4, 8, 16)
+    result = run_tab_broadcast(group_sizes=sizes)
+    return format_table(
+        "rdx_broadcast / BBU sizing",
+        ["nodes", "bubble (us)", "RDX buffer", "agent buffer"],
+        [
+            (r.group_size, r.bubble_window_us, f"{r.bbu_buffer_requests:.0f}",
+             f"{r.agent_buffer_requests:,.0f}")
+            for r in result.rows
+        ],
+    )
+
+
+def _tab_rollback(quick: bool) -> str:
+    result = run_tab_rollback()
+    return format_table(
+        "Rollback under 95% CPU load",
+        ["path", "latency (us)"],
+        [
+            ("agent re-inject", result.agent_rollback_us),
+            ("RDX flip+flush", result.rdx_rollback_us),
+        ],
+        note=f"speedup {result.speedup:,.0f}x",
+    )
+
+
+EXPERIMENTS: dict[str, Callable[[bool], str]] = {
+    "fig2a": _fig2a,
+    "fig2b": _fig2b,
+    "fig2c": _fig2c,
+    "fig4a": _fig4a,
+    "fig4b": _fig4b,
+    "fig5": _fig5,
+    "redis": _tab_redis,
+    "mesh": _tab_mesh,
+    "broadcast": _tab_broadcast,
+    "rollback": _tab_rollback,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate RDX paper figures/tables."
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sweeps, faster run"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        try:
+            for name in sorted(EXPERIMENTS):
+                print(name)
+        except BrokenPipeError:  # e.g. `repro list | head`
+            pass
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(EXPERIMENTS[name](args.quick))
+        print(f"[{name} regenerated in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

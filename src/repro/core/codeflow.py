@@ -1,0 +1,413 @@
+"""CodeFlow: the per-target handle for remote extension lifecycle.
+
+A CodeFlow binds the remote control plane to one sandbox (Fig 3).  All
+its mutating operations are simulation processes (generators) because
+they move real bytes over the simulated RDMA fabric; none of them
+charge CPU time on the *target* host -- that is the agentless
+property the experiments measure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Optional, TYPE_CHECKING
+
+from repro import params
+from repro.errors import DeployError, XStateError
+from repro.ebpf.jit import JitBinary
+from repro.ebpf.maps import BpfMap
+from repro.ebpf.program import BpfProgram
+from repro.mem.memory import RegionAllocator
+from repro.sandbox.metadata import MetadataBlock, SLOT_DETACHED, SLOT_LIVE
+from repro.sandbox.sandbox import Sandbox
+from repro.core.linker import RemoteLinker
+from repro.core.sync import RemoteSync
+from repro.core.xstate import (
+    RemoteScratchpad,
+    XStateHandle,
+    XStateSpec,
+    encode_xstate_header,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.control_plane import RdxControlPlane
+
+_deploy_ids = itertools.count(1)
+
+
+@dataclass
+class DeployReport:
+    """Per-phase latency breakdown of one deployment (Fig 4b)."""
+
+    deploy_id: int
+    program_name: str
+    started_us: float
+    dispatch_us: float = 0.0
+    link_us: float = 0.0
+    write_us: float = 0.0
+    commit_us: float = 0.0
+    cc_us: float = 0.0
+    total_us: float = 0.0
+
+    def phases(self) -> dict[str, float]:
+        return {
+            "dispatch": self.dispatch_us,
+            "link": self.link_us,
+            "write": self.write_us,
+            "commit": self.commit_us,
+            "cc": self.cc_us,
+        }
+
+
+@dataclass
+class DeployedProgram:
+    """Control-plane record of one live extension on the target."""
+
+    program: BpfProgram
+    hook_name: str
+    code_addr: int
+    code_len: int
+    metadata_slot: int
+    version: int = 1
+    #: Previous code addresses, newest last (rollback targets).
+    history: list[int] = field(default_factory=list)
+
+
+class CodeFlow:
+    """Handle bound to one remote sandbox (rdx_create_codeflow result)."""
+
+    def __init__(
+        self,
+        control_plane: "RdxControlPlane",
+        sandbox: Sandbox,
+        sync: RemoteSync,
+        helper_addresses: dict[str, int],
+    ):
+        self.control_plane = control_plane
+        self.sim = control_plane.sim
+        self.sandbox = sandbox
+        self.sync = sync
+        manifest = sandbox.ctx_manifest
+        if manifest is None:
+            raise DeployError(f"{sandbox.name}: ctx_register has not run")
+        self.manifest = manifest
+        self.scratchpad = RemoteScratchpad(
+            manifest.scratchpad_addr,
+            manifest.scratchpad_bytes,
+            manifest.meta_xstate_slots,
+        )
+        self.code_allocator = RegionAllocator(
+            manifest.code_addr, manifest.code_bytes, label=f"{sandbox.name}.rcode"
+        )
+        self.linker = RemoteLinker(
+            helper_addresses, self._map_address_of
+        )
+        self._metadata_used: set[int] = set()
+        self.deployed: dict[str, DeployedProgram] = {}
+        #: hook name -> program name currently owning that hook.
+        self._hook_owner: dict[str, str] = {}
+        self.reports: list[DeployReport] = []
+        self._lock_token = 0xC0DE_0000 + sandbox.sandbox_id
+
+    def _map_address_of(self, name: str) -> Optional[int]:
+        handle = self.scratchpad.by_name(name)
+        if handle is not None:
+            return handle.data_addr
+        # Fall back to maps the sandbox exported in its boot-time GOT.
+        symbol = self.sandbox.got.lookup(name)
+        if symbol is not None:
+            return symbol.address
+        return None
+
+    # -- rdx_link_code -------------------------------------------------------
+
+    def link_code(self, binary: JitBinary) -> Generator:
+        """Link ``binary`` against this target; returns the linked image."""
+        linked, cost_us = self.linker.link(binary)
+        yield from self.control_plane.host.cpu.run(cost_us)
+        return linked
+
+    # -- rdx_deploy_prog ------------------------------------------------------
+
+    def deploy_prog(
+        self,
+        program: BpfProgram,
+        linked: JitBinary,
+        hook_name: str,
+        flush_hook: bool = True,
+        retain_history: bool = True,
+    ) -> Generator:
+        """One-sided injection of a linked image + metadata + hook flip.
+
+        Returns a :class:`DeployReport`.  The hook flip is a
+        transactional qword swap (:meth:`RemoteSync.tx`), optionally
+        followed by a cache-coherence event on the hook line.  With
+        ``retain_history`` the previous image stays resident as a
+        rollback target; without it, its code pages are freed.
+        """
+        if not linked.is_linked:
+            raise DeployError(f"{program.name}: image has unresolved relocations")
+        report = DeployReport(
+            deploy_id=next(_deploy_ids),
+            program_name=program.name,
+            started_us=self.sim.now,
+        )
+        # Dispatch: registry lookup, WQE prep, completion polling --
+        # control-plane CPU only.
+        mark = self.sim.now
+        yield from self.control_plane.host.cpu.run(params.RDX_DISPATCH_US)
+        yield self.sim.timeout(params.RDX_STUB_RENDEZVOUS_US)
+        report.dispatch_us = self.sim.now - mark
+
+        # Stage the image into fresh code pages.  The CAS expectation
+        # is whatever currently owns the hook (possibly a different
+        # program being replaced).
+        mark = self.sim.now
+        owner_name = self._hook_owner.get(hook_name)
+        existing = self.deployed.get(owner_name) if owner_name else None
+        code_addr = self.code_allocator.alloc(len(linked.code), align=64)
+        yield from self.sync.write(code_addr, linked.code)
+        report.write_us = self.sim.now - mark
+
+        # Metadata slot fill (one 256-byte write).
+        slot = self._pick_metadata_slot()
+        block = MetadataBlock(
+            state=SLOT_LIVE,
+            prog_id=program.prog_id,
+            insn_cnt=len(program.insns),
+            ref_count=1,
+            code_addr=code_addr,
+            code_len=len(linked.code),
+            hook_slot=self.manifest.hook_layout.get(hook_name, -1),
+            version=(existing.version + 1) if existing else 1,
+            tag=program.tag().encode()[:16],
+            name=program.name,
+        )
+        yield from self.sync.write(
+            self.manifest.metadata_addr + slot * 256, block.encode()
+        )
+
+        # Commit: transactional pointer flip on the hook qword.
+        mark = self.sim.now
+        hook_addr = self._hook_addr(hook_name)
+        expected = existing.code_addr if existing else 0
+        prior = yield from self.sync.tx(
+            obj_addr=code_addr,
+            obj_bytes=b"",  # image already staged above
+            qword_addr=hook_addr,
+            new_qword=code_addr,
+            expect=expected,
+        )
+        if prior != expected:
+            self.code_allocator.free(code_addr)
+            raise DeployError(
+                f"{program.name}: hook {hook_name!r} CAS expected "
+                f"{expected:#x}, found {prior:#x} (concurrent update?)"
+            )
+        report.commit_us = self.sim.now - mark
+
+        if flush_hook:
+            mark = self.sim.now
+            yield from self.sync.cc_event(hook_addr, 8)
+            report.cc_us = self.sim.now - mark
+
+        record = DeployedProgram(
+            program=program,
+            hook_name=hook_name,
+            code_addr=code_addr,
+            code_len=len(linked.code),
+            metadata_slot=slot,
+            version=block.version,
+        )
+        if existing:
+            # The superseded descriptor slot is reusable either way.
+            self._metadata_used.discard(existing.metadata_slot)
+            if retain_history:
+                record.history = existing.history + [existing.code_addr]
+            else:
+                record.history = list(existing.history)
+                self.code_allocator.free(existing.code_addr)
+            if existing.program.name != program.name:
+                del self.deployed[existing.program.name]
+        self.deployed[program.name] = record
+        self._hook_owner[hook_name] = program.name
+        report.total_us = self.sim.now - report.started_us
+        self.reports.append(report)
+        self.control_plane.trace.record(
+            self.sim.now,
+            "rdx.deploy.done",
+            program=program.name,
+            target=self.sandbox.name,
+            total_us=report.total_us,
+        )
+        return report
+
+    def _pick_metadata_slot(self) -> int:
+        for index in range(self.manifest.metadata_slots):
+            if index not in self._metadata_used:
+                self._metadata_used.add(index)
+                return index
+        raise DeployError(f"{self.sandbox.name}: metadata array full")
+
+    def _hook_addr(self, hook_name: str) -> int:
+        try:
+            slot = self.manifest.hook_layout[hook_name]
+        except KeyError:
+            raise DeployError(
+                f"{self.sandbox.name} has no hook {hook_name!r}"
+            ) from None
+        return self.manifest.hook_table_addr + slot * 8
+
+    # -- detach / rollback support ----------------------------------------------
+
+    def detach(self, program_name: str) -> Generator:
+        """Remove the extension: hook -> 0, metadata -> detached."""
+        record = self._record(program_name)
+        hook_addr = self._hook_addr(record.hook_name)
+        prior = yield from self.sync.tx(
+            obj_addr=record.code_addr,
+            obj_bytes=b"",
+            qword_addr=hook_addr,
+            new_qword=0,
+            expect=record.code_addr,
+        )
+        if prior != record.code_addr:
+            raise DeployError(
+                f"detach of {program_name}: hook moved underneath us"
+            )
+        yield from self.sync.cc_event(hook_addr, 8)
+        state_addr = self.manifest.metadata_addr + record.metadata_slot * 256
+        yield from self.sync.write(
+            state_addr, SLOT_DETACHED.to_bytes(4, "little")
+        )
+        self.code_allocator.free(record.code_addr)
+        self._metadata_used.discard(record.metadata_slot)
+        if self._hook_owner.get(record.hook_name) == program_name:
+            del self._hook_owner[record.hook_name]
+        del self.deployed[program_name]
+
+    def flip_to(self, program_name: str, code_addr: int) -> Generator:
+        """Point the hook at an already-resident image (rollback path)."""
+        record = self._record(program_name)
+        hook_addr = self._hook_addr(record.hook_name)
+        prior = yield from self.sync.tx(
+            obj_addr=code_addr,
+            obj_bytes=b"",
+            qword_addr=hook_addr,
+            new_qword=code_addr,
+            expect=record.code_addr,
+        )
+        if prior != record.code_addr:
+            raise DeployError(f"flip of {program_name}: concurrent update")
+        yield from self.sync.cc_event(hook_addr, 8)
+        record.history.append(record.code_addr)
+        record.code_addr = code_addr
+        record.version += 1
+
+    def _record(self, program_name: str) -> DeployedProgram:
+        record = self.deployed.get(program_name)
+        if record is None:
+            raise DeployError(f"{program_name!r} is not deployed")
+        return record
+
+    # -- rdx_deploy_xstate (§3.4) -------------------------------------------------
+
+    def deploy_xstate(
+        self, spec: XStateSpec, initial: Optional[BpfMap] = None
+    ) -> Generator:
+        """Allocate + inject one XState; returns an :class:`XStateHandle`.
+
+        Steps (paper §3.4): (1) allocate a chunk from the scratchpad,
+        (2) write the self-describing header + initial image, (3) write
+        the Meta-XState index entry, then flush so the data path can
+        adopt the new state immediately.
+        """
+        handle = self.scratchpad.allocate(spec)
+        if initial is None:
+            initial = BpfMap(
+                spec.map_type, spec.key_size, spec.value_size, spec.max_entries,
+                name=spec.name,
+            )
+        image = initial.serialize()
+        if len(image) != spec.data_bytes():
+            self.scratchpad.release(handle)
+            raise XStateError(
+                f"{spec.name}: initial image is {len(image)} bytes, "
+                f"spec wants {spec.data_bytes()}"
+            )
+        yield from self.sync.write(
+            handle.header_addr, encode_xstate_header(spec) + image
+        )
+        meta_addr = self.scratchpad.meta_entry_addr(handle.meta_index)
+        prior = yield from self.sync.tx(
+            obj_addr=handle.header_addr,
+            obj_bytes=b"",
+            qword_addr=meta_addr,
+            new_qword=handle.header_addr,
+            expect=0,
+        )
+        if prior != 0:
+            self.scratchpad.release(handle)
+            raise XStateError(
+                f"{spec.name}: meta slot {handle.meta_index} already taken"
+            )
+        yield from self.sync.cc_event(handle.header_addr, params.XSTATE_HEADER_BYTES)
+        return handle
+
+    def destroy_xstate(self, handle: XStateHandle) -> Generator:
+        """Clear the meta entry and free the chunk."""
+        meta_addr = self.scratchpad.meta_entry_addr(handle.meta_index)
+        prior = yield from self.sync.cas(meta_addr, handle.header_addr, 0)
+        if prior != handle.header_addr:
+            raise XStateError(f"{handle.name}: meta entry changed underneath us")
+        # Poison the header magic so stale pointers cannot re-adopt it.
+        yield from self.sync.write(handle.header_addr, b"\x00")
+        yield from self.sync.cc_event(handle.header_addr, params.XSTATE_HEADER_BYTES)
+        self.scratchpad.release(handle)
+
+    # -- XState access (inspector APIs) ---------------------------------------------
+
+    def xstate_lookup(self, handle: XStateHandle, key: bytes) -> Generator:
+        """Remote map lookup via one-sided READs (no target CPU)."""
+        spec = handle.spec
+        slot_bytes = spec.slot_bytes()
+        image = yield from self.read_raw(handle.data_addr, spec.data_bytes())
+        rebuilt = BpfMap.deserialize(
+            image, spec.map_type, spec.key_size, spec.value_size,
+            spec.max_entries, name=spec.name,
+        )
+        del slot_bytes
+        return rebuilt.lookup(key)
+
+    def xstate_update(
+        self, handle: XStateHandle, key: bytes, value: bytes
+    ) -> Generator:
+        """Remote map update: locate the slot, then write it in place."""
+        spec = handle.spec
+        if len(key) != spec.key_size or len(value) != spec.value_size:
+            raise XStateError(f"{handle.name}: bad key/value geometry")
+        slot_bytes = spec.slot_bytes()
+        image = yield from self.read_raw(handle.data_addr, spec.data_bytes())
+        target_slot = None
+        free_slot = None
+        for index in range(spec.max_entries):
+            chunk = image[index * slot_bytes : (index + 1) * slot_bytes]
+            if chunk[0] and chunk[8 : 8 + spec.key_size] == key:
+                target_slot = index
+                break
+            if not chunk[0] and free_slot is None:
+                free_slot = index
+        if target_slot is None:
+            target_slot = free_slot
+        if target_slot is None:
+            raise XStateError(f"{handle.name}: map full")
+        slot_addr = handle.data_addr + target_slot * slot_bytes
+        payload = b"\x01" + bytes(7) + key + value
+        yield from self.sync.write(slot_addr, payload)
+        yield from self.sync.cc_event(slot_addr, len(payload))
+
+    def read_raw(self, addr: int, length: int) -> Generator:
+        """One-sided READ helper."""
+        data = yield from self.sync.read(addr, length)
+        return data

@@ -1,0 +1,287 @@
+"""The RDX remote control plane (Fig 1b / Fig 3).
+
+Consolidates everything node-local agents used to do -- validation,
+JIT compilation, linking, state access -- onto a dedicated server,
+and drives targets exclusively through one-sided RDMA.
+
+Key property from §3.2: **validate once, deploy anywhere**.  The
+compile cache is keyed by (program tag, architecture); repeat
+deployments of a cached program skip both phases entirely, which is
+why RDX's injection path contains no verification or JIT cost
+(Fig 4b).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
+
+from repro import params
+from repro.errors import DeployError, SecurityError
+from repro.ebpf.jit import JitBinary, jit_compile
+from repro.ebpf.loader import LocalLoader
+from repro.ebpf.maps import BpfMap
+from repro.ebpf.program import BpfProgram
+from repro.ebpf.verifier import MapGeometry, VerifierStats, verify
+from repro.net.topology import Host
+from repro.rdma.mr import AccessFlags
+from repro.rdma.verbs import connect_qps, open_device
+from repro.sandbox.sandbox import Sandbox
+from repro.sim.trace import TraceRecorder
+from repro.core.codeflow import CodeFlow
+from repro.core.security import Principal, SecurityPolicy
+from repro.core.sync import RemoteSync
+
+_token_source = itertools.count(0xBEEF_0001)
+
+
+@dataclass
+class RegistryEntry:
+    """One validated + compiled program in the filter/program registry."""
+
+    program: BpfProgram
+    arch: str
+    stats: VerifierStats
+    binary: JitBinary
+    deploy_count: int = 0
+
+
+class RdxControlPlane:
+    """The centralized authority overseeing extension lifecycles."""
+
+    def __init__(
+        self,
+        host: Host,
+        policy: Optional[SecurityPolicy] = None,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.policy = policy or SecurityPolicy.permissive()
+        self.trace = trace or TraceRecorder(enabled=False)
+        self._verbs = open_device(host)
+        self._pd = self._verbs.alloc_pd()
+        self._cq = self._verbs.create_cq()
+        #: (tag, arch) -> RegistryEntry; the §3.2 compile cache.
+        self.registry: dict[tuple[str, str], RegistryEntry] = {}
+        self.codeflows: list[CodeFlow] = []
+        self.validations_run = 0
+        self.compiles_run = 0
+        self.cache_hits = 0
+
+    # -- rdx_create_codeflow ---------------------------------------------------
+
+    def create_codeflow(
+        self, sandbox: Sandbox, principal: Optional[Principal] = None
+    ) -> Generator:
+        """Bind a CodeFlow to ``sandbox``; one-time per-target setup.
+
+        Wires a QP pair to the target RNIC, then pulls the sandbox's
+        global context (GOT snapshot) over RDMA so linking can happen
+        remotely.  Returns the :class:`CodeFlow`.
+        """
+        self.policy.check(principal, "create_codeflow", sandbox.name)
+        if sandbox.ctx_manifest is None:
+            raise DeployError(
+                f"{sandbox.name}: management stubs not registered "
+                "(run ctx_register first)"
+            )
+        manifest = sandbox.ctx_manifest
+
+        target_ctx = open_device(sandbox.host)
+        target_pd_qp = target_ctx.create_qp(
+            _pd_of(sandbox), target_ctx.create_cq()
+        )
+        local_qp = self._verbs.create_qp(self._pd, self._cq)
+        connect_qps(local_qp, target_pd_qp)
+        sync = RemoteSync(self.sim, local_qp, manifest.rkey, sandbox)
+
+        # Stub rendezvous + GOT snapshot read.
+        yield self.sim.timeout(params.RDX_STUB_RENDEZVOUS_US)
+        got_size = len(manifest.got_layout) * 8
+        if got_size:
+            yield from sync.read(manifest.got_addr, got_size)
+
+        codeflow = CodeFlow(
+            control_plane=self,
+            sandbox=sandbox,
+            sync=sync,
+            helper_addresses=manifest.helper_addresses,
+        )
+        self.codeflows.append(codeflow)
+        self.trace.record(
+            self.sim.now, "rdx.codeflow.created", target=sandbox.name
+        )
+        return codeflow
+
+    # -- rdx_validate_code -------------------------------------------------------
+
+    def validate_code(
+        self,
+        program: BpfProgram,
+        maps: Sequence[BpfMap] = (),
+        ctx_size: int = 256,
+        principal: Optional[Principal] = None,
+    ) -> Generator:
+        """Remote validation on the control plane's own CPU (§3.2).
+
+        Dispatches to the right toolchain per extension family (eBPF
+        register machine vs Wasm/UDF stack machine).
+        """
+        from repro.wasm.module import WasmModule
+        from repro.wasm.validator import wasm_validate
+
+        self.policy.check(principal, "validate", program.name)
+        self.policy.check_program_limits(program)
+        if isinstance(program, WasmModule):
+            stats = wasm_validate(program)
+            cost = (
+                params.verify_cost_us(len(program.insns))
+                * params.WASM_COMPILE_FACTOR
+            )
+        else:
+            geometry = {
+                slot: MapGeometry(m.key_size, m.value_size)
+                for slot, m in enumerate(maps)
+            }
+            stats = verify(program, geometry, ctx_size=ctx_size)
+            cost = params.verify_cost_us(len(program.insns))
+        cost *= params.RDX_CONTROL_COMPILE_FACTOR
+        yield from self.host.cpu.run(cost)
+        self.validations_run += 1
+        return stats
+
+    # -- rdx_JIT_compile_code -------------------------------------------------------
+
+    def jit_compile_code(
+        self,
+        program: BpfProgram,
+        arch: str = "x86_64",
+        principal: Optional[Principal] = None,
+    ) -> Generator:
+        """Cross-architecture JIT on the control plane (§3.2)."""
+        from repro.wasm.compiler import wasm_compile
+        from repro.wasm.module import WasmModule
+
+        self.policy.check(principal, "compile", program.name)
+        if isinstance(program, WasmModule):
+            binary = wasm_compile(program, arch=arch)
+            cost = (
+                params.jit_cost_us(len(program.insns))
+                * params.WASM_COMPILE_FACTOR
+            )
+        else:
+            binary = jit_compile(program, arch=arch)
+            cost = params.jit_cost_us(len(program.insns))
+        cost *= params.RDX_CONTROL_COMPILE_FACTOR
+        yield from self.host.cpu.run(cost)
+        self.compiles_run += 1
+        return binary
+
+    # -- registry (validate once, deploy anywhere) ------------------------------------
+
+    def prepare(
+        self,
+        program: BpfProgram,
+        maps: Sequence[BpfMap] = (),
+        arch: str = "x86_64",
+        ctx_size: int = 256,
+        principal: Optional[Principal] = None,
+    ) -> Generator:
+        """Validate + compile with caching; returns a RegistryEntry."""
+        key = (program.tag(), arch)
+        entry = self.registry.get(key)
+        if entry is not None:
+            self.cache_hits += 1
+            return entry
+        stats = yield from self.validate_code(
+            program, maps, ctx_size=ctx_size, principal=principal
+        )
+        binary = yield from self.jit_compile_code(
+            program, arch=arch, principal=principal
+        )
+        entry = RegistryEntry(program=program, arch=arch, stats=stats, binary=binary)
+        self.registry[key] = entry
+        return entry
+
+    def prepare_for(
+        self,
+        codeflow: CodeFlow,
+        program: BpfProgram,
+        maps: Sequence[BpfMap] = (),
+        principal: Optional[Principal] = None,
+    ) -> Generator:
+        """``prepare`` with map geometry resolved against one target.
+
+        Geometry comes from the XStates already deployed on the
+        target (the ext_spec of rdx_create_codeflow) when the caller
+        does not supply live maps.
+        """
+        if not maps and getattr(program, "map_names", ()):
+            maps = [
+                _geometry_proxy(codeflow, name) for name in program.map_names
+            ]
+        entry = yield from self.prepare(
+            program, maps, arch=codeflow.manifest.arch, principal=principal
+        )
+        return entry
+
+    # -- one-call convenience ----------------------------------------------------------
+
+    def inject(
+        self,
+        codeflow: CodeFlow,
+        program: BpfProgram,
+        hook_name: str,
+        maps: Sequence[BpfMap] = (),
+        principal: Optional[Principal] = None,
+        retain_history: bool = True,
+    ) -> Generator:
+        """prepare -> link -> deploy; returns the DeployReport."""
+        self.policy.check(principal, "deploy", codeflow.sandbox.name)
+        entry = yield from self.prepare_for(
+            codeflow, program, maps=maps, principal=principal
+        )
+        mark = self.sim.now
+        linked = yield from codeflow.link_code(entry.binary)
+        link_us = self.sim.now - mark
+        report = yield from codeflow.deploy_prog(
+            program, linked, hook_name, retain_history=retain_history
+        )
+        report.link_us = link_us
+        report.total_us += link_us
+        entry.deploy_count += 1
+        return report
+
+
+class _GeometryOnly:
+    """Stand-in carrying just the key/value sizes the verifier needs."""
+
+    def __init__(self, key_size: int, value_size: int):
+        self.key_size = key_size
+        self.value_size = value_size
+
+
+def _geometry_proxy(codeflow: CodeFlow, name: str) -> _GeometryOnly:
+    handle = codeflow.scratchpad.by_name(name)
+    if handle is not None:
+        return _GeometryOnly(handle.spec.key_size, handle.spec.value_size)
+    symbol = codeflow.sandbox.got.lookup(name)
+    if symbol is not None and 0 <= symbol.token < len(codeflow.sandbox.maps):
+        live = codeflow.sandbox.maps[symbol.token]
+        return _GeometryOnly(live.key_size, live.value_size)
+    raise DeployError(
+        f"program references map {name!r} but no XState of that name is "
+        f"deployed on {codeflow.sandbox.name} (deploy_xstate first)"
+    )
+
+
+def _pd_of(sandbox: Sandbox):
+    """The PD the sandbox registered its MR under (boot-time state)."""
+    if sandbox.mr is None:
+        raise DeployError(f"{sandbox.name}: no registered MR")
+    pd = getattr(sandbox, "_boot_pd", None)
+    if pd is None:
+        raise DeployError(f"{sandbox.name}: boot PD missing")
+    return pd

@@ -1,0 +1,154 @@
+"""Fault injection for reliability testing (paper §7, item 4).
+
+The paper lists "fault injection for reliability testing" among RDX's
+new use cases: because the control plane owns every byte it writes, it
+can deliberately produce the failure modes operators fear -- torn
+images, stale caches, flipped bits, lost flushes -- and verify that
+detection (CRC crash) and recovery (rollback) fire as designed.
+
+``FaultInjector`` wraps a CodeFlow's sync layer; each fault is armed
+for the next matching operation, then disarms.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.errors import ReproError
+from repro.core.codeflow import CodeFlow
+
+
+class FaultKind(enum.Enum):
+    """Supported fault families."""
+
+    TORN_WRITE = "torn_write"  # only a prefix of the payload lands
+    BIT_FLIP = "bit_flip"  # one byte corrupted in-flight
+    DROPPED_FLUSH = "dropped_flush"  # cc_event silently does nothing
+    STALE_READ = "stale_read"  # read returns pre-write bytes
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault, for the experiment log."""
+
+    kind: FaultKind
+    target: str
+    detail: str
+
+
+class FaultInjector:
+    """Arms one-shot faults on a CodeFlow's remote operations."""
+
+    def __init__(self, codeflow: CodeFlow, seed: int = 0):
+        self.codeflow = codeflow
+        self._rng = random.Random(seed)
+        self._armed: Optional[FaultKind] = None
+        self.injected: list[FaultRecord] = []
+
+    def arm(self, kind: FaultKind) -> None:
+        """Arm ``kind`` for the next matching operation."""
+        if self._armed is not None:
+            raise ReproError(f"fault {self._armed} already armed")
+        self._armed = kind
+
+    @property
+    def armed(self) -> Optional[FaultKind]:
+        return self._armed
+
+    # -- faulty operation wrappers ---------------------------------------
+
+    def write(self, addr: int, data: bytes) -> Generator:
+        """A write that honours an armed TORN_WRITE / BIT_FLIP."""
+        payload = data
+        if self._armed is FaultKind.TORN_WRITE:
+            cut = max(1, len(data) // 2 + self._rng.randrange(-8, 8))
+            cut = min(cut, len(data) - 1) if len(data) > 1 else 1
+            payload = data[:cut]
+            self._record(FaultKind.TORN_WRITE, f"{cut}/{len(data)} bytes landed")
+        elif self._armed is FaultKind.BIT_FLIP:
+            index = self._rng.randrange(len(data))
+            corrupted = bytearray(data)
+            corrupted[index] ^= 1 << self._rng.randrange(8)
+            payload = bytes(corrupted)
+            self._record(FaultKind.BIT_FLIP, f"byte {index} flipped")
+        yield from self.codeflow.sync.write(addr, payload)
+
+    def cc_event(self, addr: int, length: int = 64) -> Generator:
+        """A flush that honours an armed DROPPED_FLUSH."""
+        if self._armed is FaultKind.DROPPED_FLUSH:
+            self._record(FaultKind.DROPPED_FLUSH, f"flush of {length}B dropped")
+            # Charge the time, skip the effect.
+            yield self.codeflow.sim.timeout(2.0)
+            return
+        yield from self.codeflow.sync.cc_event(addr, length)
+
+    def read(self, addr: int, length: int) -> Generator:
+        """A read that honours an armed STALE_READ (returns zeros)."""
+        if self._armed is FaultKind.STALE_READ:
+            self._record(FaultKind.STALE_READ, f"{length}B stale")
+            yield self.codeflow.sim.timeout(2.0)
+            return bytes(length)
+        data = yield from self.codeflow.sync.read(addr, length)
+        return data
+
+    def deploy_with_faults(self, program, linked, hook_name: str) -> Generator:
+        """Deploy ``linked`` using the faulty write for image staging.
+
+        Mirrors :meth:`CodeFlow.deploy_prog`'s stage-then-flip shape,
+        but the image write goes through :meth:`write` so an armed
+        TORN_WRITE / BIT_FLIP lands in the staged image.  Returns the
+        code address (the pointer flip still commits: the fault model
+        targets the *payload*, not the commit protocol).
+        """
+        codeflow = self.codeflow
+        code_addr = codeflow.code_allocator.alloc(len(linked.code), align=64)
+        yield from self.write(code_addr, linked.code)
+        hook_addr = codeflow.manifest.hook_table_addr + (
+            codeflow.manifest.hook_layout[hook_name] * 8
+        )
+        yield from codeflow.sync.tx(
+            obj_addr=code_addr, obj_bytes=b"", qword_addr=hook_addr,
+            new_qword=code_addr,
+        )
+        yield from self.cc_event(hook_addr, 8)
+        return code_addr
+
+    def _record(self, kind: FaultKind, detail: str) -> None:
+        self.injected.append(
+            FaultRecord(kind=kind, target=self.codeflow.sandbox.name, detail=detail)
+        )
+        self._armed = None
+
+
+def crash_campaign(
+    testbed, program, rounds: int = 8, seed: int = 3
+) -> tuple[int, int]:
+    """A ready-made reliability experiment.
+
+    Repeatedly deploys ``program`` with a randomly armed payload fault
+    and counts (faults injected, crashes detected by the data path).
+    A healthy system detects every payload corruption.
+    """
+    from repro.errors import SandboxCrash
+
+    rng = random.Random(seed)
+    injector = FaultInjector(testbed.codeflow, seed=seed)
+    entry = testbed.sim.run_process(
+        testbed.control.prepare_for(testbed.codeflow, program)
+    )
+    linked = testbed.codeflow.linker.link(entry.binary)[0]
+    detected = 0
+    for _ in range(rounds):
+        injector.arm(rng.choice([FaultKind.TORN_WRITE, FaultKind.BIT_FLIP]))
+        testbed.sim.run_process(
+            injector.deploy_with_faults(program, linked, "ingress")
+        )
+        try:
+            testbed.sandbox.run_hook("ingress", bytes(256))
+        except SandboxCrash:
+            detected += 1
+            testbed.sandbox.crashed = False
+    return len(injector.injected), detected

@@ -1,0 +1,55 @@
+"""Remote linking: binary rewriting against the target context (§3.3).
+
+The control plane holds (a) the target's global context -- helper and
+global addresses exported at CodeFlow creation -- and (b) the
+relocation metadata the JIT emitted.  Linking patches each placeholder
+with the target-local address; map symbols resolve to XState data
+addresses chosen by the control-plane scratchpad allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import params
+from repro.errors import LinkError
+from repro.ebpf.jit import JitBinary, Relocation, RelocKind
+
+
+class RemoteLinker:
+    """Links JIT images for one target sandbox."""
+
+    def __init__(
+        self,
+        helper_addresses: dict[str, int],
+        map_address_of: Callable[[str], Optional[int]],
+    ):
+        self.helper_addresses = dict(helper_addresses)
+        self.map_address_of = map_address_of
+        self.links_done = 0
+
+    def link(self, binary: JitBinary) -> tuple[JitBinary, float]:
+        """Return (linked image, control-plane CPU cost in us)."""
+
+        def resolve(reloc: Relocation) -> int:
+            if reloc.kind is RelocKind.HELPER:
+                address = self.helper_addresses.get(reloc.symbol)
+                if address is None:
+                    raise LinkError(
+                        f"target exports no helper {reloc.symbol!r}"
+                    )
+                return address
+            if reloc.kind is RelocKind.MAP:
+                address = self.map_address_of(reloc.symbol)
+                if address is None:
+                    raise LinkError(
+                        f"no XState deployed for map {reloc.symbol!r} "
+                        "(deploy_xstate must precede link)"
+                    )
+                return address
+            raise LinkError(f"unknown relocation kind {reloc.kind}")
+
+        linked = binary.link(resolve)
+        self.links_done += 1
+        cost_us = params.RDX_LINK_PER_RELOC_US * max(1, len(binary.relocations))
+        return linked, cost_us

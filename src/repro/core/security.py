@@ -1,0 +1,151 @@
+"""Security model for the remote gatekeeper (paper §5).
+
+* **Confidentiality** -- role-based privileges: every control-plane
+  operation names a principal whose role must grant that operation,
+  optionally scoped to specific targets.
+* **Integrity** -- HMAC signatures over program images; the control
+  plane refuses unsigned/mis-signed programs when a signing key is
+  configured.
+* **Availability** -- runtime limits (instruction count, map count)
+  enforced before any remote bytes move.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SecurityError
+from repro.ebpf.program import BpfProgram
+
+
+class Role(enum.Enum):
+    """Privilege tiers, least to most powerful."""
+
+    OBSERVER = "observer"  # read-only introspection
+    OPERATOR = "operator"  # deploy/rollback extensions
+    ADMIN = "admin"  # everything incl. codeflow/teardown
+
+#: Operations each role may perform.
+_ROLE_OPS = {
+    Role.OBSERVER: {"inspect", "xstate_read"},
+    Role.OPERATOR: {
+        "inspect",
+        "xstate_read",
+        "xstate_write",
+        "validate",
+        "compile",
+        "deploy",
+        "rollback",
+        "broadcast",
+    },
+    Role.ADMIN: {
+        "inspect",
+        "xstate_read",
+        "xstate_write",
+        "validate",
+        "compile",
+        "deploy",
+        "rollback",
+        "broadcast",
+        "create_codeflow",
+        "teardown",
+        "migrate",
+    },
+}
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An authenticated caller."""
+
+    name: str
+    role: Role
+    #: Restrict to specific target sandboxes ((), meaning all).
+    target_scope: tuple[str, ...] = ()
+
+
+@dataclass
+class SecurityPolicy:
+    """The control plane's gatekeeper configuration."""
+
+    require_principal: bool = False
+    signing_key: Optional[bytes] = None
+    max_insns: int = 1_000_000
+    max_maps: int = 64
+    #: Program tags -> signatures registered by trusted publishers.
+    _signatures: dict[str, bytes] = field(default_factory=dict)
+
+    @classmethod
+    def permissive(cls) -> "SecurityPolicy":
+        """No authentication, generous limits (single-tenant default)."""
+        return cls(require_principal=False)
+
+    @classmethod
+    def strict(cls, signing_key: bytes, max_insns: int = 100_000) -> "SecurityPolicy":
+        """Authentication + signatures + tight limits."""
+        return cls(
+            require_principal=True,
+            signing_key=signing_key,
+            max_insns=max_insns,
+        )
+
+    # -- RBAC ------------------------------------------------------------
+
+    def check(
+        self, principal: Optional[Principal], operation: str, target: str = ""
+    ) -> None:
+        """Raise :class:`SecurityError` unless the call is permitted."""
+        if principal is None:
+            if self.require_principal:
+                raise SecurityError(f"{operation}: authentication required")
+            return
+        allowed = _ROLE_OPS[principal.role]
+        if operation not in allowed:
+            raise SecurityError(
+                f"{principal.name} ({principal.role.value}) may not {operation}"
+            )
+        if principal.target_scope and target and target not in principal.target_scope:
+            raise SecurityError(
+                f"{principal.name} is not scoped to target {target!r}"
+            )
+
+    # -- integrity --------------------------------------------------------
+
+    def sign_program(self, program: BpfProgram) -> bytes:
+        """Publisher-side signing (requires the shared key)."""
+        if self.signing_key is None:
+            raise SecurityError("no signing key configured")
+        signature = hmac.new(
+            self.signing_key, program.image(), hashlib.sha256
+        ).digest()
+        self._signatures[program.tag()] = signature
+        return signature
+
+    def verify_signature(self, program: BpfProgram) -> None:
+        """Control-plane-side verification before deployment."""
+        if self.signing_key is None:
+            return
+        expected = hmac.new(
+            self.signing_key, program.image(), hashlib.sha256
+        ).digest()
+        recorded = self._signatures.get(program.tag())
+        if recorded is None or not hmac.compare_digest(expected, recorded):
+            raise SecurityError(
+                f"program {program.name!r}: missing or invalid signature"
+            )
+
+    # -- availability ---------------------------------------------------------
+
+    def check_program_limits(self, program: BpfProgram) -> None:
+        if len(program.insns) > self.max_insns:
+            raise SecurityError(
+                f"program {program.name!r} exceeds instruction limit "
+                f"({len(program.insns)} > {self.max_insns})"
+            )
+        if len(program.map_names) > self.max_maps:
+            raise SecurityError(f"program {program.name!r} uses too many maps")
+        self.verify_signature(program)

@@ -1,0 +1,171 @@
+"""Remote XState management with Meta-XState indirection (paper §3.4).
+
+The strawman -- pre-registering max-size instances of every XState type
+-- wastes memory; RDX instead reserves one scratchpad at boot and adds
+one level of indirection:
+
+* the **Meta XState** is a plain qword array at the scratchpad base;
+  entry *i* holds the address of the *i*-th XState's header (0 = free);
+* each XState is laid out as ``[16-byte header][slot data]`` where the
+  header self-describes the geometry, letting the *local* data path
+  adopt remotely created state without an agent
+  (:meth:`repro.sandbox.sandbox.Sandbox._adopt_remote_map`).
+
+The allocator here is the *control-plane-side* view: it decides remote
+addresses and produces the byte images; the actual placement happens
+over RDMA in :meth:`repro.core.codeflow.CodeFlow.deploy_xstate`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import params
+from repro.errors import XStateError
+from repro.ebpf.maps import MapType
+from repro.mem.memory import RegionAllocator
+
+_HEADER = struct.Struct("<BBHIII")
+_MAGIC = 0xA5
+
+_MAP_TYPE_IDS = {MapType.HASH: 1, MapType.ARRAY: 2, MapType.PERCPU_ARRAY: 3}
+_MAP_TYPE_BY_ID = {v: k for k, v in _MAP_TYPE_IDS.items()}
+
+
+@dataclass(frozen=True)
+class XStateSpec:
+    """What a user asks for: a named map with a geometry."""
+
+    name: str
+    map_type: MapType
+    key_size: int
+    value_size: int
+    max_entries: int
+
+    def slot_bytes(self) -> int:
+        return 8 + self.key_size + self.value_size
+
+    def data_bytes(self) -> int:
+        return self.slot_bytes() * self.max_entries
+
+    def total_bytes(self) -> int:
+        return params.XSTATE_HEADER_BYTES + self.data_bytes()
+
+
+@dataclass(frozen=True)
+class XStateHeader:
+    """Decoded self-describing header."""
+
+    map_type: MapType
+    key_size: int
+    value_size: int
+    max_entries: int
+    version: int
+
+
+def encode_xstate_header(spec: XStateSpec, version: int = 1) -> bytes:
+    """Serialize the 16-byte header written before the slot data."""
+    return _HEADER.pack(
+        _MAGIC,
+        _MAP_TYPE_IDS[spec.map_type],
+        spec.key_size,
+        spec.value_size,
+        spec.max_entries,
+        version,
+    )
+
+
+def decode_xstate_header(data: bytes) -> Optional[XStateHeader]:
+    """Parse a header; None when the magic byte does not match."""
+    if len(data) < _HEADER.size:
+        return None
+    magic, type_id, key_size, value_size, max_entries, version = _HEADER.unpack_from(
+        data
+    )
+    if magic != _MAGIC or type_id not in _MAP_TYPE_BY_ID:
+        return None
+    return XStateHeader(
+        map_type=_MAP_TYPE_BY_ID[type_id],
+        key_size=key_size,
+        value_size=value_size,
+        max_entries=max_entries,
+        version=version,
+    )
+
+
+@dataclass
+class XStateHandle:
+    """Control-plane record of one deployed XState."""
+
+    spec: XStateSpec
+    meta_index: int
+    header_addr: int
+    data_addr: int
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class RemoteScratchpad:
+    """Control-plane mirror of one sandbox's scratchpad.
+
+    Tracks Meta-XState entries and sub-allocations without touching the
+    remote node; the CodeFlow performs the matching RDMA writes.
+    """
+
+    def __init__(self, scratchpad_addr: int, scratchpad_bytes: int,
+                 meta_slots: int = params.XSTATE_META_SLOTS):
+        self.meta_addr = scratchpad_addr
+        self.meta_slots = meta_slots
+        heap_base = scratchpad_addr + meta_slots * params.XSTATE_META_ENTRY_BYTES
+        heap_bytes = scratchpad_bytes - meta_slots * params.XSTATE_META_ENTRY_BYTES
+        if heap_bytes <= 0:
+            raise XStateError("scratchpad too small for the Meta index")
+        self.allocator = RegionAllocator(heap_base, heap_bytes, label="xstate")
+        self._entries: dict[int, XStateHandle] = {}
+        self._by_name: dict[str, XStateHandle] = {}
+
+    def meta_entry_addr(self, index: int) -> int:
+        return self.meta_addr + index * params.XSTATE_META_ENTRY_BYTES
+
+    def allocate(self, spec: XStateSpec) -> XStateHandle:
+        """Pick a meta slot + heap chunk for ``spec`` (no remote I/O)."""
+        if spec.name in self._by_name:
+            raise XStateError(f"XState {spec.name!r} already deployed")
+        index = next(
+            (i for i in range(self.meta_slots) if i not in self._entries), None
+        )
+        if index is None:
+            raise XStateError("Meta-XState index full")
+        header_addr = self.allocator.alloc(spec.total_bytes(), align=64)
+        handle = XStateHandle(
+            spec=spec,
+            meta_index=index,
+            header_addr=header_addr,
+            data_addr=header_addr + params.XSTATE_HEADER_BYTES,
+        )
+        self._entries[index] = handle
+        self._by_name[spec.name] = handle
+        return handle
+
+    def release(self, handle: XStateHandle) -> None:
+        """Free the meta slot + chunk (destroy path)."""
+        if self._entries.get(handle.meta_index) is not handle:
+            raise XStateError(f"XState {handle.name!r} not live")
+        del self._entries[handle.meta_index]
+        del self._by_name[handle.name]
+        self.allocator.free(handle.header_addr)
+
+    def by_name(self, name: str) -> Optional[XStateHandle]:
+        return self._by_name.get(name)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_live(self) -> int:
+        return self.allocator.bytes_live

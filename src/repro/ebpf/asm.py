@@ -1,0 +1,138 @@
+"""A small fluent assembler for building eBPF programs in tests/workloads.
+
+Example -- return the first packet byte doubled::
+
+    prog = (
+        Asm()
+        .ldx_b(op.R0, op.R1, 0)     # r0 = *(u8 *)(r1 + 0)
+        .alu64_imm(op.BPF_MUL, op.R0, 2)
+        .exit_()
+        .build()
+    )
+
+Labels support forward and backward jump targets by name (the verifier
+rejects backward jumps, but the assembler does not second-guess you --
+that is the verifier's job, and tests need to build bad programs too).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.ebpf import opcodes as op
+from repro.ebpf.insn import Insn, lddw_pair
+
+
+class Asm:
+    """Accumulates instructions; ``build()`` resolves labels."""
+
+    def __init__(self):
+        self._insns: list[Insn] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []  # (insn index, label)
+
+    def __len__(self) -> int:
+        return len(self._insns)
+
+    def raw(self, insn: Insn) -> "Asm":
+        self._insns.append(insn)
+        return self
+
+    def label(self, name: str) -> "Asm":
+        if name in self._labels:
+            raise ReproError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insns)
+        return self
+
+    # -- ALU -----------------------------------------------------------
+
+    def mov_imm(self, dst: int, imm: int) -> "Asm":
+        return self.raw(Insn(op.BPF_ALU64 | op.BPF_MOV | op.BPF_K, dst=dst, imm=imm))
+
+    def mov_reg(self, dst: int, src: int) -> "Asm":
+        return self.raw(Insn(op.BPF_ALU64 | op.BPF_MOV | op.BPF_X, dst=dst, src=src))
+
+    def alu64_imm(self, alu_op: int, dst: int, imm: int) -> "Asm":
+        return self.raw(Insn(op.BPF_ALU64 | alu_op | op.BPF_K, dst=dst, imm=imm))
+
+    def alu64_reg(self, alu_op: int, dst: int, src: int) -> "Asm":
+        return self.raw(Insn(op.BPF_ALU64 | alu_op | op.BPF_X, dst=dst, src=src))
+
+    def alu32_imm(self, alu_op: int, dst: int, imm: int) -> "Asm":
+        return self.raw(Insn(op.BPF_ALU | alu_op | op.BPF_K, dst=dst, imm=imm))
+
+    def neg(self, dst: int) -> "Asm":
+        return self.raw(Insn(op.BPF_ALU64 | op.BPF_NEG, dst=dst))
+
+    # -- memory -----------------------------------------------------------
+
+    def ldx(self, size: int, dst: int, src: int, off: int) -> "Asm":
+        return self.raw(Insn(op.BPF_LDX | size | op.BPF_MEM, dst=dst, src=src, off=off))
+
+    def ldx_b(self, dst: int, src: int, off: int) -> "Asm":
+        return self.ldx(op.BPF_B, dst, src, off)
+
+    def ldx_w(self, dst: int, src: int, off: int) -> "Asm":
+        return self.ldx(op.BPF_W, dst, src, off)
+
+    def ldx_dw(self, dst: int, src: int, off: int) -> "Asm":
+        return self.ldx(op.BPF_DW, dst, src, off)
+
+    def stx(self, size: int, dst: int, src: int, off: int) -> "Asm":
+        return self.raw(Insn(op.BPF_STX | size | op.BPF_MEM, dst=dst, src=src, off=off))
+
+    def stx_dw(self, dst: int, src: int, off: int) -> "Asm":
+        return self.stx(op.BPF_DW, dst, src, off)
+
+    def st_imm(self, size: int, dst: int, off: int, imm: int) -> "Asm":
+        return self.raw(Insn(op.BPF_ST | size | op.BPF_MEM, dst=dst, off=off, imm=imm))
+
+    def lddw(self, dst: int, imm64: int) -> "Asm":
+        for insn in lddw_pair(dst, imm64):
+            self.raw(insn)
+        return self
+
+    def ld_map_fd(self, dst: int, map_name_imm: int) -> "Asm":
+        """Load a map reference (BPF_PSEUDO_MAP_FD) into ``dst``.
+
+        ``map_name_imm`` is the program-local map slot index; the
+        loader/linker resolves it to an actual map.
+        """
+        for insn in lddw_pair(dst, map_name_imm, src=op.PSEUDO_MAP_FD):
+            self.raw(insn)
+        return self
+
+    # -- control flow ---------------------------------------------------
+
+    def ja(self, label: str) -> "Asm":
+        self._fixups.append((len(self._insns), label))
+        return self.raw(Insn(op.BPF_JMP | op.BPF_JA, off=0))
+
+    def jmp_imm(self, jmp_op: int, dst: int, imm: int, label: str) -> "Asm":
+        self._fixups.append((len(self._insns), label))
+        return self.raw(Insn(op.BPF_JMP | jmp_op | op.BPF_K, dst=dst, imm=imm))
+
+    def jmp_reg(self, jmp_op: int, dst: int, src: int, label: str) -> "Asm":
+        self._fixups.append((len(self._insns), label))
+        return self.raw(Insn(op.BPF_JMP | jmp_op | op.BPF_X, dst=dst, src=src))
+
+    def call(self, helper_id: int) -> "Asm":
+        return self.raw(Insn(op.BPF_JMP | op.BPF_CALL, imm=helper_id))
+
+    def exit_(self) -> "Asm":
+        return self.raw(Insn(op.BPF_JMP | op.BPF_EXIT))
+
+    # -- finalize ---------------------------------------------------------
+
+    def build(self) -> list[Insn]:
+        """Resolve labels and return the instruction list."""
+        insns = list(self._insns)
+        for index, label in self._fixups:
+            target = self._labels.get(label)
+            if target is None:
+                raise ReproError(f"undefined label {label!r}")
+            offset = target - index - 1
+            old = insns[index]
+            insns[index] = Insn(
+                opcode=old.opcode, dst=old.dst, src=old.src, off=offset, imm=old.imm
+            )
+        return insns

@@ -1,0 +1,137 @@
+"""eBPF opcode constants, mirroring <linux/bpf_common.h> + <linux/bpf.h>.
+
+Only the names are re-derived here; the numeric layout is the kernel's:
+the low 3 bits select the instruction class, and the meaning of the
+high bits depends on the class (ALU/JMP: operation + source bit;
+LD/ST: size + mode).
+"""
+
+from __future__ import annotations
+
+# -- instruction classes (low 3 bits) --------------------------------
+
+BPF_LD = 0x00
+BPF_LDX = 0x01
+BPF_ST = 0x02
+BPF_STX = 0x03
+BPF_ALU = 0x04
+BPF_JMP = 0x05
+BPF_JMP32 = 0x06
+BPF_ALU64 = 0x07
+
+CLASS_MASK = 0x07
+
+# -- ALU / JMP source bit ---------------------------------------------
+
+BPF_K = 0x00  # immediate operand
+BPF_X = 0x08  # register operand
+SRC_MASK = 0x08
+
+# -- ALU operations (high 4 bits) --------------------------------------
+
+BPF_ADD = 0x00
+BPF_SUB = 0x10
+BPF_MUL = 0x20
+BPF_DIV = 0x30
+BPF_OR = 0x40
+BPF_AND = 0x50
+BPF_LSH = 0x60
+BPF_RSH = 0x70
+BPF_NEG = 0x80
+BPF_MOD = 0x90
+BPF_XOR = 0xA0
+BPF_MOV = 0xB0
+BPF_ARSH = 0xC0
+BPF_END = 0xD0
+
+# -- JMP operations -----------------------------------------------------
+
+BPF_JA = 0x00
+BPF_JEQ = 0x10
+BPF_JGT = 0x20
+BPF_JGE = 0x30
+BPF_JSET = 0x40
+BPF_JNE = 0x50
+BPF_JSGT = 0x60
+BPF_JSGE = 0x70
+BPF_CALL = 0x80
+BPF_EXIT = 0x90
+BPF_JLT = 0xA0
+BPF_JLE = 0xB0
+BPF_JSLT = 0xC0
+BPF_JSLE = 0xD0
+
+OP_MASK = 0xF0
+
+# -- LD/ST size (bits 3-4) ----------------------------------------------
+
+BPF_W = 0x00  # 4 bytes
+BPF_H = 0x08  # 2 bytes
+BPF_B = 0x10  # 1 byte
+BPF_DW = 0x18  # 8 bytes
+
+SIZE_MASK = 0x18
+
+SIZE_BYTES = {BPF_W: 4, BPF_H: 2, BPF_B: 1, BPF_DW: 8}
+
+# -- LD/ST mode (bits 5-7) ------------------------------------------------
+
+BPF_IMM = 0x00
+BPF_ABS = 0x20
+BPF_IND = 0x40
+BPF_MEM = 0x60
+
+MODE_MASK = 0xE0
+
+# -- registers ---------------------------------------------------------
+
+R0 = 0  # return value
+R1 = 1  # arg1 / ctx pointer on entry
+R2 = 2
+R3 = 3
+R4 = 4
+R5 = 5
+R6 = 6  # callee-saved from here
+R7 = 7
+R8 = 8
+R9 = 9
+R10 = 10  # frame pointer (read-only)
+
+MAX_REG = 10
+
+#: Pseudo source register marking an LDDW as a map reference
+#: (BPF_PSEUDO_MAP_FD in the kernel).
+PSEUDO_MAP_FD = 1
+
+#: Composite opcode of the 16-byte load-double-word-immediate.
+LDDW = BPF_LD | BPF_DW | BPF_IMM  # 0x18
+
+#: Stack size available below R10.
+STACK_SIZE = 512
+
+#: Kernel-style complexity budget enforced by the verifier.
+MAX_INSNS = 1_000_000
+
+
+def insn_class(opcode: int) -> int:
+    return opcode & CLASS_MASK
+
+
+def alu_op(opcode: int) -> int:
+    return opcode & OP_MASK
+
+
+def is_alu(opcode: int) -> bool:
+    return insn_class(opcode) in (BPF_ALU, BPF_ALU64)
+
+
+def is_jump(opcode: int) -> bool:
+    return insn_class(opcode) in (BPF_JMP, BPF_JMP32)
+
+
+def is_load(opcode: int) -> bool:
+    return insn_class(opcode) in (BPF_LD, BPF_LDX)
+
+
+def is_store(opcode: int) -> bool:
+    return insn_class(opcode) in (BPF_ST, BPF_STX)

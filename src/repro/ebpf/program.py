@@ -1,0 +1,112 @@
+"""Program objects and the `struct bpf_program`-like metadata block.
+
+The paper's §3.1 stresses that an extension is far more than its code:
+``struct bpf_program`` carries 30+ fields that local agents fill in
+from local context.  We model that metadata explicitly because RDX's
+management stubs exist precisely to avoid handcrafting it remotely.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+from repro.ebpf.insn import Insn, encode_program
+
+_prog_ids = itertools.count(1)
+
+
+class ProgType(enum.Enum):
+    """Program types (hook families) the simulator supports."""
+
+    SOCKET_FILTER = "socket_filter"
+    XDP = "xdp"
+    TRACEPOINT = "tracepoint"
+    CGROUP_SKB = "cgroup_skb"
+
+
+@dataclass
+class BpfProgMetadata:
+    """The descriptor a loader must populate (cf. `struct bpf_program`).
+
+    Field names follow libbpf where a counterpart exists.  Every field
+    the agent fills locally must be fillable by RDX remotely -- that is
+    the §3.1 challenge this reproduction exercises.
+    """
+
+    name: str = ""
+    prog_type: ProgType = ProgType.SOCKET_FILTER
+    insn_cnt: int = 0
+    license: str = "GPL"
+    kern_version: int = 0x050F00
+    prog_flags: int = 0
+    expected_attach_type: int = 0
+    attach_hook: str = ""
+    ifindex: int = 0
+    log_level: int = 0
+    prog_fd: int = -1
+    jited: bool = False
+    jited_len: int = 0
+    xlated_len: int = 0
+    load_time_ns: int = 0
+    uid: int = 0
+    map_slots: tuple[int, ...] = ()
+    btf_id: int = 0
+    func_cnt: int = 1
+    verified_insns: int = 0
+    tag: str = ""
+    gpl_compatible: bool = True
+    run_ctx_addr: int = 0
+    jit_addr: int = 0
+    got_base: int = 0
+    ref_count: int = 0
+    priority: int = 0
+    sleepable: bool = False
+    exception_cb: int = 0
+    recursion_ok: bool = False
+    stats_enabled: bool = False
+
+    @classmethod
+    def field_count(cls) -> int:
+        """The paper cites 'no less than 30 variables'; we match that."""
+        return len(fields(cls))
+
+
+@dataclass
+class BpfProgram:
+    """An eBPF program: instructions + declared map slots + metadata."""
+
+    insns: list[Insn]
+    name: str = "prog"
+    prog_type: ProgType = ProgType.SOCKET_FILTER
+    #: Names of maps the program references, indexed by map slot.
+    map_names: tuple[str, ...] = ()
+    prog_id: int = field(default_factory=lambda: next(_prog_ids))
+    metadata: Optional[BpfProgMetadata] = None
+
+    def __post_init__(self):
+        if self.metadata is None:
+            self.metadata = BpfProgMetadata(
+                name=self.name,
+                prog_type=self.prog_type,
+                insn_cnt=len(self.insns),
+                map_slots=tuple(range(len(self.map_names))),
+                tag=self.tag(),
+            )
+
+    def __len__(self) -> int:
+        return len(self.insns)
+
+    def image(self) -> bytes:
+        """The flat bytecode image (what a verifier/JIT consumes)."""
+        return encode_program(self.insns)
+
+    def tag(self) -> str:
+        """Kernel-style 8-byte program tag (truncated SHA-1 of the image)."""
+        return hashlib.sha1(self.image()).hexdigest()[:16]
+
+    def size_bytes(self) -> int:
+        return len(self.insns) * 8

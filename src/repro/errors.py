@@ -1,0 +1,63 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch domain failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all domain errors raised by this library."""
+
+
+class MemoryError_(ReproError):
+    """Bad simulated-memory access (out of range, bad permissions)."""
+
+
+class RdmaError(ReproError):
+    """RDMA verbs misuse or transport failure."""
+
+
+class ProtectionError(RdmaError):
+    """Remote key / protection-domain violation on a one-sided op."""
+
+
+class VerifierError(ReproError):
+    """Extension bytecode rejected by a static verifier."""
+
+
+class JitError(ReproError):
+    """JIT compilation failed (unsupported opcode, bad relocation)."""
+
+
+class LinkError(ReproError):
+    """Binary could not be linked against the target context."""
+
+
+class SandboxError(ReproError):
+    """Sandbox runtime failure (crash, unresolved relocation hit)."""
+
+
+class SandboxCrash(SandboxError):
+    """The sandbox executed ill-formed code and crashed."""
+
+
+class XStateError(ReproError):
+    """XState allocation/lookup/update failure."""
+
+
+class DeployError(ReproError):
+    """Extension deployment failed (agent or RDX path)."""
+
+
+class ConsistencyError(ReproError):
+    """An update-consistency invariant was violated."""
+
+
+class SecurityError(ReproError):
+    """RBAC / signature / runtime-limit violation."""
+
+
+class WorkloadError(ReproError):
+    """Workload or application model misconfiguration."""

@@ -1,0 +1,35 @@
+"""Experiment harness: one module per paper figure/table.
+
+Each experiment module exposes a ``run_*`` function returning a
+structured result and a module-level ``PAPER`` record of what the
+paper reports, so benchmarks and ``EXPERIMENTS.md`` compare shapes
+(who wins, by what factor) rather than absolute testbed numbers.
+"""
+
+from repro.exp.harness import Testbed, format_table, make_testbed
+from repro.exp.fig2a import run_fig2a
+from repro.exp.fig2b import run_fig2b
+from repro.exp.fig2c import run_fig2c
+from repro.exp.fig4a import run_fig4a
+from repro.exp.fig4b import run_fig4b
+from repro.exp.fig5 import run_fig5
+from repro.exp.tab_redis import run_tab_redis
+from repro.exp.tab_mesh import run_tab_mesh
+from repro.exp.tab_broadcast import run_tab_broadcast
+from repro.exp.tab_rollback import run_tab_rollback
+
+__all__ = [
+    "Testbed",
+    "format_table",
+    "make_testbed",
+    "run_fig2a",
+    "run_fig2b",
+    "run_fig2c",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5",
+    "run_tab_broadcast",
+    "run_tab_mesh",
+    "run_tab_redis",
+    "run_tab_rollback",
+]

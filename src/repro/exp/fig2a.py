@@ -1,0 +1,71 @@
+"""Fig 2a -- agent injection overhead vs program complexity.
+
+Paper claim: extension injection in existing (agent-based) frameworks
+is millisecond-level even for small extensions, growing with
+instruction size; >=90% of it is local verification + JIT (§2.2 Obs 1).
+
+We deploy BPF-selftest-style stress programs of each size through a
+node agent and report mean injection latency, plus the verify+JIT
+share of the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.ebpf.stress import make_stress_program
+from repro.exp.harness import Testbed, make_testbed
+
+#: What the paper's figure shows (shape anchors).
+PAPER = {
+    "claim": "ms-level injection at small sizes; grows with insn count",
+    "verify_jit_share_min": 0.90,
+    "small_size_floor_ms": 1.0,
+}
+
+DEFAULT_SIZES = (1_300, 11_000, 26_000)
+
+
+@dataclass
+class Fig2aPoint:
+    insn_size: int
+    mean_inject_us: float
+    verify_jit_share: float
+
+
+@dataclass
+class Fig2aResult:
+    points: list[Fig2aPoint] = field(default_factory=list)
+
+    def series_ms(self) -> list[tuple[int, float]]:
+        return [(p.insn_size, p.mean_inject_us / 1000.0) for p in self.points]
+
+
+def run_fig2a(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repeats: int = 3,
+    testbed: Testbed | None = None,
+) -> Fig2aResult:
+    """Measure agent injection latency across program sizes."""
+    bed = testbed or make_testbed(with_codeflows=False)
+    result = Fig2aResult()
+    for size in sizes:
+        program = make_stress_program(size, seed=size % 97 + 1)
+        totals = []
+        shares = []
+        for repeat in range(repeats):
+            breakdown = bed.sim.run_process(
+                bed.agent.inject(program, "ingress")
+            )
+            totals.append(breakdown.total_us)
+            compile_us = breakdown.verify_us + breakdown.jit_us
+            shares.append(compile_us / breakdown.total_us)
+        result.points.append(
+            Fig2aPoint(
+                insn_size=size,
+                mean_inject_us=sum(totals) / len(totals),
+                verify_jit_share=sum(shares) / len(shares),
+            )
+        )
+    return result

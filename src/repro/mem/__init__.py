@@ -1,0 +1,33 @@
+"""Simulated host memory: DRAM, allocator, and the CPU cache model.
+
+The cache model implements the precise incoherence RDX's synchronization
+primitives exist to fix (paper §3.5): RNIC DMA writes land in DRAM but
+do **not** invalidate CPU cache lines, so a polling CPU keeps reading
+stale data until the line is evicted (workload-pressure dependent) or
+explicitly flushed.
+"""
+
+from repro.mem.memory import MemoryRegion, PhysicalMemory, RegionAllocator
+from repro.mem.cache import CacheModel, CacheStats
+from repro.mem.layout import (
+    pack_qword,
+    unpack_qword,
+    pack_u32,
+    unpack_u32,
+    qword_at,
+    store_qword,
+)
+
+__all__ = [
+    "CacheModel",
+    "CacheStats",
+    "MemoryRegion",
+    "PhysicalMemory",
+    "RegionAllocator",
+    "pack_qword",
+    "pack_u32",
+    "qword_at",
+    "store_qword",
+    "unpack_qword",
+    "unpack_u32",
+]

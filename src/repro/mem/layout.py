@@ -1,0 +1,46 @@
+"""Fixed-width encode/decode helpers for in-memory structures.
+
+Everything the control plane writes into remote memory (XState headers,
+Meta-XState index entries, hook-table slots, GOT entries) is encoded
+little-endian with these helpers so both the local sandbox and the
+remote control plane agree on layout.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.mem.memory import PhysicalMemory
+
+_QWORD = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+
+def pack_qword(value: int) -> bytes:
+    """Encode an unsigned 64-bit little-endian qword."""
+    return _QWORD.pack(value & 0xFFFFFFFFFFFFFFFF)
+
+
+def unpack_qword(data: bytes) -> int:
+    """Decode an unsigned 64-bit little-endian qword."""
+    return _QWORD.unpack_from(data)[0]
+
+
+def pack_u32(value: int) -> bytes:
+    """Encode an unsigned 32-bit little-endian word."""
+    return _U32.pack(value & 0xFFFFFFFF)
+
+
+def unpack_u32(data: bytes) -> int:
+    """Decode an unsigned 32-bit little-endian word."""
+    return _U32.unpack_from(data)[0]
+
+
+def qword_at(memory: PhysicalMemory, addr: int) -> int:
+    """Read a qword directly from DRAM (no cache semantics)."""
+    return unpack_qword(memory.read(addr, 8))
+
+
+def store_qword(memory: PhysicalMemory, addr: int, value: int) -> None:
+    """Write a qword directly to DRAM (no cache semantics)."""
+    memory.write(addr, pack_qword(value))

@@ -1,0 +1,103 @@
+"""Consistency probing during rollouts (paper §2.2 Obs 2 / Fig 2b).
+
+The probe sends a steady trickle of tracer requests through the app
+and classifies each as old-logic, new-logic, or **mixed** (different
+hops stamped different filter versions).  The mixed-version window --
+first to last mixed observation -- is the user-visible inconsistency
+the paper plots in Fig 2b.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.errors import SandboxCrash
+from repro.mesh.apps import MicroserviceApp
+from repro.wasm.runtime import RequestContext
+
+
+@dataclass
+class MixedVersionWindow:
+    """Result of one probing session."""
+
+    probes_sent: int
+    first_mixed_us: Optional[float]
+    last_mixed_us: Optional[float]
+    mixed_count: int
+    #: (time, versions tuple) per probe, for detailed assertions.
+    observations: list[tuple[float, tuple[int, ...]]] = field(default_factory=list)
+
+    @property
+    def window_us(self) -> float:
+        if self.first_mixed_us is None or self.last_mixed_us is None:
+            return 0.0
+        return self.last_mixed_us - self.first_mixed_us
+
+    @property
+    def saw_mixed(self) -> bool:
+        return self.mixed_count > 0
+
+
+class ConsistencyProbe:
+    """Sends tracer requests and records version mixes."""
+
+    def __init__(self, app: MicroserviceApp, interval_us: float = 500.0,
+                 seed: int = 7):
+        self.app = app
+        self.sim = app.sim
+        self.interval_us = interval_us
+        self._rng = random.Random(seed)
+        self._observations: list[tuple[float, tuple[int, ...]]] = []
+        self._proc = None
+
+    def start(self, duration_us: float) -> None:
+        """Begin probing in the background for ``duration_us``."""
+
+        def prober() -> Generator:
+            end = self.sim.now + duration_us
+            while self.sim.now < end:
+                yield self.sim.timeout(self.interval_us)
+                self._probe_once()
+
+        self._proc = self.sim.spawn(prober(), name="consistency-probe")
+
+    def stop(self) -> None:
+        """End probing early (e.g. once the rollout completed)."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("probe stopped")
+        self._proc = None
+
+    def _probe_once(self) -> None:
+        path_hash = self._rng.randrange(1 << 30)
+        path = self.app.call_path(path_hash)
+        versions = []
+        for service in path:
+            pod = self.app.pods[service]
+            if pod.proxy.sandbox.bubble_active():
+                # BBU: this request would be buffered, not served mixed
+                # logic; count it as unobserved.
+                return
+            ctx = RequestContext(path_hash=path_hash, now_us=self.sim.now)
+            try:
+                pod.proxy.process_request(ctx)
+            except SandboxCrash:
+                return
+            versions.append(pod.proxy.versions_seen(ctx) or 0)
+        self._observations.append((self.sim.now, tuple(versions)))
+
+    def result(self) -> MixedVersionWindow:
+        """Summarize what the probe saw."""
+        mixed_times = []
+        for when, versions in self._observations:
+            stamped = {v for v in versions if v}
+            if len(stamped) > 1:
+                mixed_times.append(when)
+        return MixedVersionWindow(
+            probes_sent=len(self._observations),
+            first_mixed_us=min(mixed_times) if mixed_times else None,
+            last_mixed_us=max(mixed_times) if mixed_times else None,
+            mixed_count=len(mixed_times),
+            observations=list(self._observations),
+        )

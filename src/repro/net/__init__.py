@@ -1,0 +1,24 @@
+"""Network substrate: hosts, rack fabric, message delivery, and RPC.
+
+The fabric carries two traffic classes used throughout the paper:
+
+* control RPCs (TCP/gRPC-like; traverse the kernel stack and consume
+  host CPU on both ends) -- the agent baseline's transport, and
+* RDMA verbs traffic (kernel-bypass; consumes RNIC cycles only) --
+  RDX's transport, layered on top by :mod:`repro.rdma`.
+"""
+
+from repro.net.topology import Cluster, Host
+from repro.net.fabric import Fabric, Message
+from repro.net.rpc import RpcEndpoint, RpcError, RpcRequest, RpcResponse
+
+__all__ = [
+    "Cluster",
+    "Fabric",
+    "Host",
+    "Message",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcRequest",
+    "RpcResponse",
+]

@@ -1,0 +1,105 @@
+"""In-rack message fabric with latency + bandwidth accounting.
+
+One switch, full bisection: any host pair is one switched hop apart.
+The fabric delivers :class:`Message` objects after propagation plus
+serialization delay; per-link queueing is modeled by serializing each
+sender's egress port.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro import params
+from repro.errors import ReproError
+from repro.net.topology import Host
+from repro.sim.core import Event, Simulator
+from repro.sim.resources import Resource
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One fabric datagram."""
+
+    src: str
+    dst: str
+    channel: str
+    size_bytes: int
+    payload: Any = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+
+class Fabric:
+    """Single-rack switching fabric shared by every attached host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        base_latency_us: float = params.NET_BASE_LATENCY_US,
+        bandwidth_bpus: float = params.RDMA_BANDWIDTH_BPUS,
+    ):
+        self.sim = sim
+        self.base_latency_us = base_latency_us
+        self.bandwidth_bpus = bandwidth_bpus
+        self._hosts: dict[str, Host] = {}
+        self._egress: dict[str, Resource] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def attach(self, host: Host) -> None:
+        """Connect a host to the rack switch."""
+        if host.name in self._hosts:
+            raise ReproError(f"host {host.name!r} already attached")
+        self._hosts[host.name] = host
+        self._egress[host.name] = Resource(self.sim, capacity=1)
+        host.attach_fabric(self)
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise ReproError(f"unknown host {name!r}") from None
+
+    def send(self, message: Message) -> Event:
+        """Transmit ``message``; the returned event fires at delivery.
+
+        The event's value is the message.  Delivery also invokes the
+        destination's registered channel handler, if any.
+        """
+        if message.dst not in self._hosts:
+            raise ReproError(f"unknown destination {message.dst!r}")
+        if message.src not in self._hosts:
+            raise ReproError(f"unknown source {message.src!r}")
+        if message.size_bytes < 0:
+            raise ReproError("negative message size")
+        done = self.sim.event()
+        self.sim.spawn(self._transmit(message, done), name=f"xmit#{message.msg_id}")
+        return done
+
+    def _transmit(self, message: Message, done: Event):
+        egress = self._egress[message.src]
+        grant = egress.request()
+        yield grant
+        try:
+            serialize_us = message.size_bytes / self.bandwidth_bpus
+            yield self.sim.timeout(serialize_us)
+        finally:
+            egress.release(grant)
+        yield self.sim.timeout(self.base_latency_us)
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes
+        handler = self._hosts[message.dst].handler_for(message.channel)
+        if handler is not None:
+            result = handler(message)
+            # Handlers may return a generator to run as a process.
+            if hasattr(result, "send") and hasattr(result, "throw"):
+                self.sim.spawn(result, name=f"handler:{message.channel}")
+        done.succeed(message)
+
+    def one_way_delay_us(self, size_bytes: int) -> float:
+        """Closed-form minimum delivery time for a message (no queueing)."""
+        return self.base_latency_us + size_bytes / self.bandwidth_bpus

@@ -1,0 +1,126 @@
+"""Hosts and clusters mirroring the paper's §6 testbed.
+
+A :class:`Host` bundles the per-server hardware: CPU cores, DRAM, the
+cache model, and (attached later by :mod:`repro.rdma`) an RNIC.  A
+:class:`Cluster` is a rack of hosts sharing one fabric, with one host
+optionally designated as the RDX remote control plane.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro import params
+from repro.mem.cache import CacheModel
+from repro.mem.memory import PhysicalMemory, RegionAllocator
+from repro.sim.core import Simulator
+from repro.sim.resources import CPU
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.fabric import Fabric
+    from repro.rdma.rnic import Rnic
+
+
+class Host:
+    """One server: cores + DRAM + cache + (optional) RNIC.
+
+    Memory is carved from a single physical bank via ``allocator`` so
+    that sandboxes, scratchpads, and application heaps never overlap.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cores: int = params.HOST_CORES,
+        dram_bytes: int = 256 * 2**20,
+        cpki: float = 5.0,
+        seed: int = 0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.cpu = CPU(sim, cores=cores, name=f"{name}.cpu")
+        self.memory = PhysicalMemory(dram_bytes)
+        self.allocator = RegionAllocator(
+            self.memory.base, dram_bytes, label=f"{name}.dram"
+        )
+        self.cache = CacheModel(sim, self.memory, cpki=cpki, seed=seed)
+        self.nic: Optional["Rnic"] = None
+        self.fabric: Optional["Fabric"] = None
+        self._handlers: dict[str, object] = {}
+
+    def __repr__(self) -> str:
+        return f"Host({self.name})"
+
+    def attach_fabric(self, fabric: "Fabric") -> None:
+        self.fabric = fabric
+
+    def register_handler(self, channel: str, handler) -> None:
+        """Register a callable for messages addressed to ``channel``."""
+        self._handlers[channel] = handler
+
+    def handler_for(self, channel: str):
+        return self._handlers.get(channel)
+
+
+class Cluster:
+    """A rack of hosts plus, optionally, a dedicated control-plane host.
+
+    >>> from repro.sim import Simulator
+    >>> cluster = Cluster(Simulator(), n_hosts=3)
+    >>> [h.name for h in cluster.hosts]
+    ['node0', 'node1', 'node2']
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_hosts: int,
+        cores_per_host: int = params.HOST_CORES,
+        dram_bytes: int = 256 * 2**20,
+        cpki: float = 5.0,
+        with_control_host: bool = True,
+        seed: int = 0,
+    ):
+        from repro.net.fabric import Fabric
+
+        if n_hosts < 1:
+            raise ValueError("cluster needs at least one host")
+        self.sim = sim
+        self.fabric = Fabric(sim)
+        self.hosts: list[Host] = []
+        for index in range(n_hosts):
+            host = Host(
+                sim,
+                f"node{index}",
+                cores=cores_per_host,
+                dram_bytes=dram_bytes,
+                cpki=cpki,
+                seed=seed * 7919 + index,
+            )
+            self.fabric.attach(host)
+            self.hosts.append(host)
+        self.control_host: Optional[Host] = None
+        if with_control_host:
+            self.control_host = Host(
+                sim,
+                "control",
+                cores=cores_per_host,
+                dram_bytes=dram_bytes,
+                cpki=cpki,
+                seed=seed * 7919 + n_hosts,
+            )
+            self.fabric.attach(self.control_host)
+
+    def host(self, name: str) -> Host:
+        """Look up a host (including the control host) by name."""
+        for candidate in self.all_hosts():
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no host named {name!r}")
+
+    def all_hosts(self) -> list[Host]:
+        hosts = list(self.hosts)
+        if self.control_host is not None:
+            hosts.append(self.control_host)
+        return hosts

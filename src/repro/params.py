@@ -1,0 +1,195 @@
+"""Calibrated cost-model constants for the RDX reproduction.
+
+Every latency/throughput constant used by the simulator lives here, with
+the paper anchor that justifies it.  The calibration targets are the
+*published* observations, not the authors' raw testbed numbers (which we
+cannot access):
+
+* §2.2 Obs 1 + Fig 4b -- agent-side verification + JIT is >= 90% of the
+  injection path; injection is millisecond-level even for small programs.
+* §6 Fig 4a -- RDX injection is 47x (1.3K insns) to 1982x (95K insns)
+  faster than the agent baseline.
+* §6 Fig 5 -- without sync primitives the RNIC/CPU incoherence window is
+  up to ~746 us at low CPKI; RDX's ``rdx_cc_event`` holds it at ~2 us.
+* §6 -- agentless eBPF lifts Redis throughput by up to 25.3%; agentless
+  Wasm lifts microservice performance by up to 65%.
+
+The testbed modeled is the paper's: 24-core 3.4 GHz Xeon E5-2643,
+128 GB DRAM, Mellanox CX-4 (100 GbE RoCE), control plane in-rack.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------
+# Host hardware (paper §6 testbed)
+# --------------------------------------------------------------------
+
+#: Cores per server (24-core Xeon E5-2643).
+HOST_CORES = 24
+#: Core frequency in instructions per microsecond (3.4 GHz, IPC ~= 1).
+CPU_INSN_PER_US = 3_400.0
+#: DRAM per host, bytes (128 GB).
+HOST_DRAM_BYTES = 128 * 2**30
+#: Cache line size in bytes.
+CACHE_LINE_BYTES = 64
+#: Effective number of cache lines competing with a polled hot line.
+#: Chosen so that the *median* eviction-driven incoherence window at
+#: CPKI=5 lands at ~746 us (Fig 5 left edge):
+#: median = ln(2) * LINES * 1000 / (CPKI * CPU_INSN_PER_US).
+CACHE_EFFECTIVE_LINES = 18_300
+
+# --------------------------------------------------------------------
+# Network + RDMA fabric (CX-4, RoCEv2, in-rack)
+# --------------------------------------------------------------------
+
+#: One-way propagation + switching latency inside a rack, us.
+NET_BASE_LATENCY_US = 1.0
+#: RNIC processing overhead per RDMA work request, us (each side).
+RNIC_OP_OVERHEAD_US = 0.25
+#: RDMA link bandwidth, bytes per microsecond (100 GbE ~= 12.5 GB/s).
+RDMA_BANDWIDTH_BPUS = 12_500.0
+#: Latency of an RDMA atomic (CAS / fetch-add), us, round trip.
+RDMA_ATOMIC_RTT_US = 2.0
+#: Small one-sided WRITE/READ round-trip latency floor, us.
+RDMA_SMALL_OP_RTT_US = 2.0
+#: Extra per-operation cost of RNIC doorbell + WQE fetch, us.
+RDMA_DOORBELL_US = 0.2
+
+#: TCP/gRPC request latency floor for control RPCs (agent path), us.
+#: Kernel network stack both sides + protobuf handling.
+RPC_BASE_LATENCY_US = 55.0
+#: Effective TCP goodput for control RPCs, bytes/us (~10 Gb/s).
+RPC_BANDWIDTH_BPUS = 1_250.0
+
+# --------------------------------------------------------------------
+# eBPF toolchain costs (agent side, host CPU)
+# --------------------------------------------------------------------
+
+#: Bytes per eBPF instruction (fixed 8-byte encoding).
+EBPF_INSN_BYTES = 8
+#: JIT output bytes per eBPF instruction (x86-64 expansion factor).
+JIT_BYTES_PER_INSN = 10
+
+#: Verifier cost per instruction-state visited, us.  Anchors the
+#: millisecond-level injection at 1.3K insns (Fig 2a / 4a left edge).
+VERIFY_PER_INSN_US = 1.00
+#: Verifier superlinearity: path-pruning degrades on larger programs.
+#: cost_factor(n) = 1 + VERIFY_SUPERLINEAR_COEF * log2(n / VERIFY_BASE_INSNS)
+#:                      ** VERIFY_SUPERLINEAR_EXP     (for n > base)
+VERIFY_BASE_INSNS = 1_300
+VERIFY_SUPERLINEAR_COEF = 0.123
+VERIFY_SUPERLINEAR_EXP = 1.2
+#: JIT compile cost per instruction, us.
+JIT_PER_INSN_US = 0.25
+#: Wasm validation+compile is heavier per unit of logic than eBPF
+#: (type-checking a stack machine + cranelift-style codegen).
+WASM_COMPILE_FACTOR = 3.0
+#: UDF validation/compile cost per expression node, us.
+UDF_PER_NODE_US = 2.0
+
+# --------------------------------------------------------------------
+# Agent baseline path (per-node daemon)
+# --------------------------------------------------------------------
+
+#: Fixed agent overhead per injection: config parse, syscalls, bookkeeping.
+#: Kept small so verify+JIT dominate (>=90%, Fig 4b).
+AGENT_FIXED_OVERHEAD_US = 120.0
+#: Kernel attach / hook-table update cost on the agent path, us.
+AGENT_ATTACH_US = 40.0
+#: Periodic XState (map) polling cost per poll, us of host CPU.
+AGENT_STATE_POLL_US = 450.0
+#: Default agent poll interval for extension state, us (10 ms).
+AGENT_STATE_POLL_INTERVAL_US = 10_000.0
+#: Controller-side config debounce/batching delay before pushing, us.
+CONTROLLER_BATCH_DELAY_US = 5_000.0
+
+# --------------------------------------------------------------------
+# RDX path (remote control plane + one-sided injection)
+# --------------------------------------------------------------------
+
+#: Control-plane dispatch overhead per deploy (registry lookup, WQE
+#: preparation, completion polling), us.  Runs on the *control-plane*
+#: server, not the target host.
+RDX_DISPATCH_US = 17.0
+#: Management-stub rendezvous: reading the Meta descriptor + GOT window
+#: via one-sided READs amortizes to this fixed cost per deploy, us.
+RDX_STUB_RENDEZVOUS_US = 8.0
+#: Remote linking (binary rewriting) cost per relocation entry, us.
+RDX_LINK_PER_RELOC_US = 0.05
+#: rdx_tx commit: CAS visibility flip + ordering fence, us.
+RDX_TX_COMMIT_US = 2.0
+#: rdx_cc_event: posting the cache-flush descriptor + local flush, us.
+RDX_CC_EVENT_US = 2.0
+#: Control-plane validation/JIT run on dedicated control servers and are
+#: cached ("validate once, deploy anywhere", §3.2); this factor scales
+#: their *control-plane* cost relative to the agent's host-CPU cost.
+RDX_CONTROL_COMPILE_FACTOR = 1.0
+
+# --------------------------------------------------------------------
+# Data-path application models
+# --------------------------------------------------------------------
+
+#: Redis-like KV op service time on one core, us.
+REDIS_OP_SERVICE_US = 2.2
+#: Microservice per-hop request handling cost, us.
+MESH_HOP_SERVICE_US = 120.0
+#: Sidecar filter-chain overhead per request per filter, us.
+MESH_FILTER_OVERHEAD_US = 6.0
+#: Serverless warm-pool pod spin-up floor (excluding filter reload), us.
+SERVERLESS_POD_SPAWN_US = 120.0
+
+# --------------------------------------------------------------------
+# Memory layout defaults
+# --------------------------------------------------------------------
+
+#: Size of the XState scratchpad reserved at ctx_register time, bytes.
+XSTATE_SCRATCHPAD_BYTES = 4 * 2**20
+#: Number of slots in the top-level "Meta" XState index array.
+XSTATE_META_SLOTS = 4_096
+#: Bytes per Meta-XState index entry (one qword address).
+XSTATE_META_ENTRY_BYTES = 8
+#: XState header bytes: type tag (4) + size (4) + version (4) + pad (4).
+XSTATE_HEADER_BYTES = 16
+#: Sandbox code-page region size, bytes.
+SANDBOX_CODE_BYTES = 8 * 2**20
+#: Number of hook-point slots in a sandbox hook table.
+SANDBOX_HOOK_SLOTS = 64
+
+
+def verify_cost_us(n_insns: int) -> float:
+    """Host-CPU verification cost for an ``n_insns`` eBPF program.
+
+    Linear with a mild superlinear correction above the 1.3K-insn
+    anchor, reflecting verifier state-pruning degradation on large
+    programs (this is what stretches the speedup from 47x to ~2000x
+    across Fig 4a's size range).
+    """
+    import math
+
+    if n_insns <= 0:
+        return 0.0
+    factor = 1.0
+    if n_insns > VERIFY_BASE_INSNS:
+        factor += VERIFY_SUPERLINEAR_COEF * (
+            math.log2(n_insns / VERIFY_BASE_INSNS) ** VERIFY_SUPERLINEAR_EXP
+        )
+    return VERIFY_PER_INSN_US * n_insns * factor
+
+
+def jit_cost_us(n_insns: int) -> float:
+    """Host-CPU JIT-compilation cost for an ``n_insns`` program."""
+    return JIT_PER_INSN_US * max(0, n_insns)
+
+
+def rdma_transfer_us(n_bytes: int) -> float:
+    """Wire time for an ``n_bytes`` one-sided RDMA transfer."""
+    if n_bytes < 0:
+        raise ValueError("negative transfer size")
+    return RDMA_SMALL_OP_RTT_US + n_bytes / RDMA_BANDWIDTH_BPUS
+
+
+def rpc_transfer_us(n_bytes: int) -> float:
+    """Wire + stack time for an ``n_bytes`` control RPC (agent path)."""
+    if n_bytes < 0:
+        raise ValueError("negative transfer size")
+    return RPC_BASE_LATENCY_US + n_bytes / RPC_BANDWIDTH_BPUS

@@ -1,0 +1,33 @@
+"""RDMA verbs over the simulated fabric.
+
+A faithful miniature of the ibverbs object model: devices (RNICs),
+protection domains, registered memory regions with r/lkeys, reliable
+connected queue pairs, completion queues, and one-sided WRITE / READ /
+CAS / FETCH_ADD work requests.  One-sided operations DMA into the
+target host's memory through its :class:`~repro.mem.cache.CacheModel`
+-- consuming **zero** target-host CPU, which is the entire point of the
+paper's agentless architecture.
+"""
+
+from repro.rdma.mr import AccessFlags, MemoryRegionMr, ProtectionDomain
+from repro.rdma.qp import QueuePair, QpState, WorkRequest, WrOpcode
+from repro.rdma.cq import Completion, CompletionQueue, WcStatus
+from repro.rdma.rnic import Rnic
+from repro.rdma.verbs import VerbsContext, connect_qps, open_device
+
+__all__ = [
+    "AccessFlags",
+    "Completion",
+    "CompletionQueue",
+    "MemoryRegionMr",
+    "ProtectionDomain",
+    "QpState",
+    "QueuePair",
+    "Rnic",
+    "VerbsContext",
+    "WcStatus",
+    "WorkRequest",
+    "WrOpcode",
+    "connect_qps",
+    "open_device",
+]

@@ -1,0 +1,89 @@
+"""Protection domains and registered memory regions (ibv_pd / ibv_mr)."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ProtectionError, RdmaError
+
+_key_source = itertools.count(0x1000)
+
+
+class AccessFlags(enum.IntFlag):
+    """Subset of IBV_ACCESS_* flags the simulator enforces."""
+
+    LOCAL_WRITE = 1
+    REMOTE_READ = 2
+    REMOTE_WRITE = 4
+    REMOTE_ATOMIC = 8
+
+
+@dataclass(frozen=True)
+class MemoryRegionMr:
+    """A registered window of host memory, addressable by rkey."""
+
+    addr: int
+    length: int
+    lkey: int
+    rkey: int
+    access: AccessFlags
+    pd_handle: int
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.length
+
+    def covers(self, addr: int, n: int) -> bool:
+        return self.addr <= addr and addr + n <= self.end
+
+    def check_remote(self, addr: int, n: int, need: AccessFlags) -> None:
+        """Validate a remote access against range and permissions."""
+        if not self.covers(addr, n):
+            raise ProtectionError(
+                f"remote access [{addr:#x},+{n}) outside MR "
+                f"[{self.addr:#x},+{self.length})"
+            )
+        if need & ~self.access:
+            raise ProtectionError(
+                f"MR rkey={self.rkey:#x} lacks {need & ~self.access!r}"
+            )
+
+
+class ProtectionDomain:
+    """An isolation scope for MRs and QPs (ibv_pd)."""
+
+    _handles = itertools.count(1)
+
+    def __init__(self, device_name: str):
+        self.handle = next(self._handles)
+        self.device_name = device_name
+        self._mrs: dict[int, MemoryRegionMr] = {}
+
+    def reg_mr(self, addr: int, length: int, access: AccessFlags) -> MemoryRegionMr:
+        """Register [addr, addr+length) with the given access flags."""
+        if length <= 0:
+            raise RdmaError("MR length must be positive")
+        mr = MemoryRegionMr(
+            addr=addr,
+            length=length,
+            lkey=next(_key_source),
+            rkey=next(_key_source),
+            access=access,
+            pd_handle=self.handle,
+        )
+        self._mrs[mr.rkey] = mr
+        return mr
+
+    def dereg_mr(self, mr: MemoryRegionMr) -> None:
+        if self._mrs.pop(mr.rkey, None) is None:
+            raise RdmaError(f"MR rkey={mr.rkey:#x} not registered")
+
+    def lookup_rkey(self, rkey: int) -> Optional[MemoryRegionMr]:
+        return self._mrs.get(rkey)
+
+    @property
+    def mr_count(self) -> int:
+        return len(self._mrs)

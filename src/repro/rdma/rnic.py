@@ -1,0 +1,195 @@
+"""The RNIC model: WQE processing, DMA, and wire timing.
+
+Two properties matter for the paper and are modeled exactly:
+
+1. **CPU bypass** -- executing a remote WR consumes *no* cycles on the
+   target host's CPU; payloads are DMA'd straight into its memory
+   (through the cache model, which leaves stale CPU cache lines behind
+   -- the Fig 5 incoherence).
+2. **Non-atomic large writes** -- a WRITE larger than one MTU lands
+   chunk by chunk over the transfer window, so a concurrently polling
+   CPU can observe a *partially written* object.  This is issue (1) of
+   §3.5 and the reason ``rdx_tx`` exists.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro import params
+from repro.errors import ProtectionError, RdmaError
+from repro.mem.layout import pack_qword, unpack_qword
+from repro.net.topology import Host
+from repro.rdma.cq import Completion, WcStatus
+from repro.rdma.mr import AccessFlags
+from repro.rdma.qp import QpState, QueuePair, WorkRequest, WrOpcode
+from repro.sim.core import Event
+from repro.sim.resources import Resource
+
+#: Wire MTU for chunked DMA landing of large writes.
+RNIC_MTU_BYTES = 4096
+
+
+class Rnic:
+    """One RDMA NIC attached to a host."""
+
+    def __init__(self, host: Host, name: str = ""):
+        self.host = host
+        self.sim = host.sim
+        self.name = name or f"{host.name}.rnic"
+        # The send pipeline serializes WQE execution per NIC, which is
+        # how a real RNIC's processing units behave under one QP-per-CF.
+        self._pipeline = Resource(self.sim, capacity=4)
+        self.wrs_processed = 0
+        self.bytes_dma = 0
+        host.nic = self
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, qp: QueuePair, wr: WorkRequest) -> Event:
+        """Queue a WR for processing; event fires with its Completion."""
+        done = self.sim.event()
+        self.sim.spawn(self._process(qp, wr, done), name=f"wqe:{wr.opcode.value}")
+        return done
+
+    def _process(self, qp: QueuePair, wr: WorkRequest, done: Event):
+        grant = self._pipeline.request()
+        yield grant
+        try:
+            if qp.state is QpState.ERROR:
+                completion = Completion(
+                    wr_id=wr.wr_id,
+                    opcode=wr.opcode.value,
+                    status=WcStatus.WR_FLUSH_ERROR,
+                    error="QP in error state",
+                )
+            else:
+                completion = yield from self._execute(qp, wr)
+        finally:
+            self._pipeline.release(grant)
+        qp.completed += 1
+        self.wrs_processed += 1
+        qp.cq.push(completion)
+        done.succeed(completion)
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, qp: QueuePair, wr: WorkRequest):
+        remote_qp = qp.remote
+        assert remote_qp is not None
+        remote_host = remote_qp.rnic.host
+
+        # Doorbell + WQE fetch + initiator NIC processing.
+        yield self.sim.timeout(params.RDMA_DOORBELL_US + params.RNIC_OP_OVERHEAD_US)
+
+        try:
+            if wr.opcode is WrOpcode.RDMA_WRITE:
+                result = yield from self._do_write(qp, wr, remote_qp, remote_host)
+            elif wr.opcode is WrOpcode.RDMA_READ:
+                result = yield from self._do_read(qp, wr, remote_qp, remote_host)
+            elif wr.opcode in (WrOpcode.COMP_SWAP, WrOpcode.FETCH_ADD):
+                result = yield from self._do_atomic(qp, wr, remote_qp, remote_host)
+            elif wr.opcode is WrOpcode.SEND:
+                result = yield from self._do_send(qp, wr, remote_qp, remote_host)
+            else:
+                raise RdmaError(f"unsupported opcode {wr.opcode}")
+        except ProtectionError as err:
+            qp.modify(QpState.ERROR)
+            return Completion(
+                wr_id=wr.wr_id,
+                opcode=wr.opcode.value,
+                status=WcStatus.REMOTE_ACCESS_ERROR,
+                error=str(err),
+            )
+        return Completion(
+            wr_id=wr.wr_id,
+            opcode=wr.opcode.value,
+            status=WcStatus.SUCCESS,
+            byte_len=wr.wire_bytes(),
+            result=result,
+        )
+
+    def _check_remote(
+        self, remote_qp: QueuePair, wr: WorkRequest, n: int, need: AccessFlags
+    ):
+        mr = remote_qp.pd.lookup_rkey(wr.rkey)
+        if mr is None:
+            raise ProtectionError(f"rkey {wr.rkey:#x} unknown at target")
+        mr.check_remote(wr.remote_addr, n, need)
+        return mr
+
+    def _do_write(self, qp, wr: WorkRequest, remote_qp, remote_host: Host):
+        self._check_remote(remote_qp, wr, len(wr.data), AccessFlags.REMOTE_WRITE)
+        # First byte arrives after one-way latency + remote NIC overhead.
+        yield self.sim.timeout(
+            params.NET_BASE_LATENCY_US + params.RNIC_OP_OVERHEAD_US
+        )
+        # Chunked landing: each MTU lands after its serialization time,
+        # so a large object is visible *partially written* in between.
+        offset = 0
+        while offset < len(wr.data):
+            chunk = wr.data[offset : offset + RNIC_MTU_BYTES]
+            yield self.sim.timeout(len(chunk) / params.RDMA_BANDWIDTH_BPUS)
+            remote_host.cache.dma_write(wr.remote_addr + offset, chunk)
+            self.bytes_dma += len(chunk)
+            offset += len(chunk)
+        # ACK back to the initiator.
+        yield self.sim.timeout(params.NET_BASE_LATENCY_US)
+        return None
+
+    def _do_read(self, qp, wr: WorkRequest, remote_qp, remote_host: Host):
+        self._check_remote(remote_qp, wr, wr.length, AccessFlags.REMOTE_READ)
+        yield self.sim.timeout(
+            params.NET_BASE_LATENCY_US + params.RNIC_OP_OVERHEAD_US
+        )
+        data = remote_host.cache.dma_read(wr.remote_addr, wr.length)
+        self.bytes_dma += wr.length
+        # Response serialization + return latency.
+        yield self.sim.timeout(
+            wr.length / params.RDMA_BANDWIDTH_BPUS + params.NET_BASE_LATENCY_US
+        )
+        return data
+
+    def _do_atomic(self, qp, wr: WorkRequest, remote_qp, remote_host: Host):
+        if wr.remote_addr % 8:
+            raise ProtectionError("atomic target must be 8-byte aligned")
+        self._check_remote(remote_qp, wr, 8, AccessFlags.REMOTE_ATOMIC)
+        # Atomics are RTT-bound, independent of payload.
+        yield self.sim.timeout(params.RDMA_ATOMIC_RTT_US)
+        original = unpack_qword(remote_host.memory.read(wr.remote_addr, 8))
+        if wr.opcode is WrOpcode.COMP_SWAP:
+            if original == wr.compare:
+                remote_host.cache.dma_write(wr.remote_addr, pack_qword(wr.swap_or_add))
+        else:  # FETCH_ADD
+            remote_host.cache.dma_write(
+                wr.remote_addr, pack_qword(original + wr.swap_or_add)
+            )
+        self.bytes_dma += 8
+        return original
+
+    def _do_send(self, qp, wr: WorkRequest, remote_qp, remote_host: Host):
+        if not remote_qp.recv_queue:
+            raise ProtectionError("receiver not ready (no posted recv)")
+        addr, length = remote_qp.recv_queue.pop(0)
+        if len(wr.data) > length:
+            raise ProtectionError(
+                f"SEND of {len(wr.data)} bytes into {length}-byte recv buffer"
+            )
+        yield self.sim.timeout(
+            params.NET_BASE_LATENCY_US
+            + params.RNIC_OP_OVERHEAD_US
+            + len(wr.data) / params.RDMA_BANDWIDTH_BPUS
+        )
+        remote_host.cache.dma_write(addr, wr.data)
+        self.bytes_dma += len(wr.data)
+        remote_qp.cq.push(
+            Completion(
+                wr_id=wr.wr_id,
+                opcode="recv",
+                status=WcStatus.SUCCESS,
+                byte_len=len(wr.data),
+                result=addr,
+            )
+        )
+        yield self.sim.timeout(params.NET_BASE_LATENCY_US)
+        return None

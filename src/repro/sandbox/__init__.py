@@ -1,0 +1,29 @@
+"""Runtime sandboxes: the local data plane extensions execute in.
+
+A sandbox owns real carve-outs of its host's simulated DRAM -- code
+pages, a hook table of code pointers, a metadata array, a GOT, an
+XState scratchpad, and a small control block -- all RDMA-registered at
+boot by the ``ctx_register`` management stub so a remote control plane
+can manipulate them with one-sided verbs (paper §3.1).
+
+The sandbox's CPU-side reads go through the host cache model, so
+everything the paper says about torn reads and stale cache lines
+happens here for real.
+"""
+
+from repro.sandbox.got import GlobalContext, SymbolKind
+from repro.sandbox.hooks import HookTable
+from repro.sandbox.metadata import METADATA_SLOT_BYTES, MetadataArray
+from repro.sandbox.xmaps import MemoryBackedMap
+from repro.sandbox.sandbox import BootManifest, Sandbox
+
+__all__ = [
+    "BootManifest",
+    "GlobalContext",
+    "HookTable",
+    "METADATA_SLOT_BYTES",
+    "MemoryBackedMap",
+    "MetadataArray",
+    "Sandbox",
+    "SymbolKind",
+]

@@ -1,0 +1,489 @@
+"""The sandbox runtime: code pages, hooks, metadata, XState, execution.
+
+One :class:`Sandbox` per pod/VM on a host.  Its entire control surface
+is plain memory -- which is the paper's core enabling observation
+("code is data"): a remote control plane holding the boot manifest can
+perform every lifecycle operation with one-sided RDMA.
+
+Memory layout (all carved from the host allocator)::
+
+    control block   64 B    lock / epoch / bubble flag / doorbell
+    GOT             4 KiB   qword per symbol
+    hook table      512 B   qword per hook slot
+    metadata array  16 KiB  256 B per descriptor slot
+    code region     8 MiB   JIT images (RegionAllocator)
+    scratchpad      16 MiB  Meta-XState index + XState allocations
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import params
+from repro.errors import SandboxCrash, SandboxError
+from repro.ebpf.helpers import HELPERS
+from repro.ebpf.interpreter import ExecutionResult, Interpreter
+from repro.ebpf.jit import JitBinary, decode_image
+from repro.ebpf.maps import MapType
+from repro.ebpf.program import BpfProgram
+from repro.mem.layout import pack_qword, unpack_qword
+from repro.mem.memory import RegionAllocator
+from repro.net.topology import Host
+from repro.rdma.mr import AccessFlags, MemoryRegionMr, ProtectionDomain
+from repro.sandbox.got import GlobalContext, SymbolKind
+from repro.sandbox.hooks import HookTable
+from repro.sandbox.metadata import (
+    MetadataArray,
+    MetadataBlock,
+    SLOT_DETACHED,
+    SLOT_EMPTY,
+    SLOT_LIVE,
+)
+from repro.sandbox.xmaps import MemoryBackedMap
+
+_sandbox_ids = itertools.count(1)
+
+# Control-block field offsets.
+OFF_LOCK = 0
+OFF_EPOCH = 8
+OFF_BUBBLE = 16
+OFF_DOORBELL = 24
+CONTROL_BLOCK_BYTES = 64
+
+#: Base of the per-sandbox helper-function address space.
+HELPER_ADDR_BASE = 0xFFFF_8000_0000_0000
+
+
+@dataclass
+class BootManifest:
+    """What ``ctx_register`` hands the remote control plane, once.
+
+    Addresses + rkeys + static layouts; everything else is readable
+    over RDMA at runtime.
+    """
+
+    sandbox_name: str
+    host_name: str
+    arch: str
+    control_addr: int
+    got_addr: int
+    got_layout: dict[str, int]
+    hook_table_addr: int
+    hook_layout: dict[str, int]
+    metadata_addr: int
+    metadata_slots: int
+    code_addr: int
+    code_bytes: int
+    scratchpad_addr: int
+    scratchpad_bytes: int
+    meta_xstate_addr: int
+    meta_xstate_slots: int
+    rkey: int = 0
+    helper_addresses: dict[str, int] = field(default_factory=dict)
+
+
+class Sandbox:
+    """A runtime extension sandbox bound to one host."""
+
+    def __init__(
+        self,
+        host: Host,
+        name: str = "",
+        hooks: tuple[str, ...] = ("ingress", "egress"),
+        arch: str = "x86_64",
+        code_bytes: int = params.SANDBOX_CODE_BYTES,
+        scratchpad_bytes: int = params.XSTATE_SCRATCHPAD_BYTES,
+    ):
+        self.host = host
+        self.sandbox_id = next(_sandbox_ids)
+        self.name = name or f"{host.name}.sb{self.sandbox_id}"
+        self.arch = arch
+        self.crashed = False
+        self.crash_reason = ""
+
+        allocate = host.allocator.alloc
+        self.control_addr = allocate(CONTROL_BLOCK_BYTES, align=64)
+        host.memory.fill(self.control_addr, CONTROL_BLOCK_BYTES, 0)
+
+        got_addr = allocate(4096, align=64)
+        self.got = GlobalContext(host.memory, got_addr, capacity=512)
+
+        hook_addr = allocate(params.SANDBOX_HOOK_SLOTS * 8, align=64)
+        host.memory.fill(hook_addr, params.SANDBOX_HOOK_SLOTS * 8, 0)
+        self.hook_table = HookTable(
+            host.cache, hook_addr, params.SANDBOX_HOOK_SLOTS
+        )
+
+        metadata_addr = allocate(64 * 256, align=64)
+        self.metadata = MetadataArray(host.memory, metadata_addr, slots=64)
+
+        self.code_base = allocate(code_bytes, align=4096)
+        self.code_bytes = code_bytes
+        self.code_allocator = RegionAllocator(
+            self.code_base, code_bytes, label=f"{self.name}.code"
+        )
+
+        self.scratchpad_base = allocate(scratchpad_bytes, align=4096)
+        self.scratchpad_bytes = scratchpad_bytes
+
+        #: Live map objects by slot index (data-path view of XState).
+        self.maps: list[MemoryBackedMap] = []
+        self._maps_by_addr: dict[int, int] = {}
+        self._helper_addr_to_id: dict[int, int] = {}
+        self._hostcall_addr_to_id: dict[int, int] = {}
+        self._code_len_by_addr: dict[int, int] = {}
+        # Instruction-cache analogue: decoded images keyed by their
+        # exact bytes.  A torn/corrupt image has different bytes, so
+        # it always misses and the decoder still crashes on it.
+        self._decode_cache: dict[bytes, list] = {}
+        self.events_executed = 0
+        self.mr: Optional[MemoryRegionMr] = None
+        self.ctx_manifest: Optional[BootManifest] = None
+
+        self._ctx_init(hooks)
+
+    # -- management stubs (§3.1) -------------------------------------------
+
+    def _ctx_init(self, hooks: tuple[str, ...]) -> None:
+        """ctx_init: preload empty descriptors and declare hook points.
+
+        Defines both extension families' local entry points in the GOT:
+        eBPF helpers and Wasm host calls get per-sandbox addresses, so
+        images linked for a *different* sandbox crash here -- linking
+        really is per-target (§3.3).
+        """
+        from repro.wasm.hostcalls import HOST_CALLS
+
+        self.metadata.init_empty()
+        for hook in hooks:
+            self.hook_table.declare(hook)
+        base = HELPER_ADDR_BASE + (self.sandbox_id << 20)
+        for helper_id, helper in sorted(HELPERS.items()):
+            address = base + helper_id * 0x40
+            self.got.define(helper.name, SymbolKind.HELPER, address, token=helper_id)
+            self._helper_addr_to_id[address] = helper_id
+        wasm_base = base + 0x1_0000
+        for call_id, call in sorted(HOST_CALLS.items()):
+            address = wasm_base + call_id * 0x40
+            self.got.define(call.name, SymbolKind.HELPER, address, token=call_id)
+            self._hostcall_addr_to_id[address] = call_id
+
+    def ctx_register(self, pd: ProtectionDomain) -> BootManifest:
+        """ctx_register: RDMA-register the control surface; one-time.
+
+        Registers one MR spanning all sandbox regions (control block
+        through scratchpad) and returns the boot manifest the remote
+        control plane needs.
+        """
+        span_start = self.control_addr
+        span_end = self.scratchpad_base + self.scratchpad_bytes
+        self._boot_pd = pd
+        self.mr = pd.reg_mr(
+            span_start,
+            span_end - span_start,
+            AccessFlags.REMOTE_READ
+            | AccessFlags.REMOTE_WRITE
+            | AccessFlags.REMOTE_ATOMIC
+            | AccessFlags.LOCAL_WRITE,
+        )
+        self.ctx_manifest = BootManifest(
+            sandbox_name=self.name,
+            host_name=self.host.name,
+            arch=self.arch,
+            control_addr=self.control_addr,
+            got_addr=self.got.base_addr,
+            got_layout=self.got.layout(),
+            hook_table_addr=self.hook_table.base_addr,
+            hook_layout=self.hook_table.names(),
+            metadata_addr=self.metadata.base_addr,
+            metadata_slots=self.metadata.slots,
+            code_addr=self.code_base,
+            code_bytes=self.code_bytes,
+            scratchpad_addr=self.scratchpad_base,
+            scratchpad_bytes=self.scratchpad_bytes,
+            meta_xstate_addr=self.scratchpad_base,
+            meta_xstate_slots=params.XSTATE_META_SLOTS,
+            rkey=self.mr.rkey,
+            helper_addresses={
+                name: self.got.address_of(name)
+                for name in self.got.layout()
+            },
+        )
+        return self.ctx_manifest
+
+    def ctx_teardown(self, prog_id: int) -> bool:
+        """ctx_teardown: drop one reference; detach at zero (§3.1)."""
+        index = self.metadata.find_by_prog_id(prog_id)
+        if index is None:
+            raise SandboxError(f"no live program {prog_id}")
+        block = self.metadata.read(index)
+        block.ref_count = max(0, block.ref_count - 1)
+        if block.ref_count == 0:
+            block.state = SLOT_DETACHED
+            for hook, _slot in self.hook_table.names().items():
+                if self.hook_table.pointer_in_dram(hook) == block.code_addr:
+                    self.hook_table.write_pointer(hook, 0)
+            if block.code_addr and self.code_allocator.size_of(block.code_addr):
+                self.code_allocator.free(block.code_addr)
+            self._code_len_by_addr.pop(block.code_addr, None)
+            detached = True
+        else:
+            detached = False
+        self.metadata.write(index, block)
+        return detached
+
+    # -- local (agent-path) install -----------------------------------------
+
+    def install_local(
+        self,
+        program: BpfProgram,
+        linked: JitBinary,
+        hook_name: str,
+        ref_count: int = 1,
+    ) -> int:
+        """Agent-path attach: CPU writes image + metadata + hook pointer.
+
+        Returns the code address.  Coherent by construction (CPU writes
+        are write-through and refresh the cache).  Replacing the hook's
+        current occupant detaches it: its descriptor slot is reclaimed
+        and its code pages freed (the kernel drops a program when its
+        last reference goes).
+        """
+        previous = self.hook_table.pointer_in_dram(hook_name)
+        if previous:
+            self._evict_local(previous)
+        code_addr = self.code_allocator.alloc(len(linked.code), align=64)
+        self.host.cache.cpu_write(code_addr, linked.code)
+        self._code_len_by_addr[code_addr] = len(linked.code)
+        slot = self.metadata.find_free()
+        if slot is None:
+            self.code_allocator.free(code_addr)
+            raise SandboxError("metadata array full")
+        self.metadata.write(
+            slot,
+            MetadataBlock(
+                state=SLOT_LIVE,
+                prog_id=program.prog_id,
+                insn_cnt=len(program.insns),
+                ref_count=ref_count,
+                code_addr=code_addr,
+                code_len=len(linked.code),
+                hook_slot=self.hook_table.slot_index(hook_name),
+                version=1,
+                tag=program.tag().encode()[:16],
+                name=program.name,
+            ),
+        )
+        self.hook_table.write_pointer(hook_name, code_addr)
+        return code_addr
+
+    def _evict_local(self, code_addr: int) -> None:
+        """Drop a locally installed image being replaced at its hook."""
+        if self.code_allocator.size_of(code_addr) is None:
+            return  # remotely deployed image; its CodeFlow owns it
+        for index in range(self.metadata.slots):
+            block = self.metadata.read(index)
+            if block.state == SLOT_LIVE and block.code_addr == code_addr:
+                block.state = SLOT_DETACHED
+                self.metadata.write(index, block)
+                break
+        self.code_allocator.free(code_addr)
+        self._code_len_by_addr.pop(code_addr, None)
+
+    def register_map(self, name: str, bpf_map: MemoryBackedMap) -> int:
+        """Expose a live map to programs; returns its slot index."""
+        slot = len(self.maps)
+        self.maps.append(bpf_map)
+        self._maps_by_addr[bpf_map.base_addr] = slot
+        self.got.define(name, SymbolKind.MAP, bpf_map.base_addr, token=slot)
+        return slot
+
+    def create_map(
+        self,
+        name: str,
+        map_type: MapType,
+        key_size: int,
+        value_size: int,
+        max_entries: int,
+    ) -> MemoryBackedMap:
+        """Allocate a map in the scratchpad (local path convenience)."""
+        probe = MemoryBackedMap.geometry_size(
+            key_size, value_size, max_entries
+        )
+        addr = self.host.allocator.alloc(probe, align=64)
+        bpf_map = MemoryBackedMap(
+            self.host.cache, addr, map_type, key_size, value_size,
+            max_entries, name=name,
+        )
+        self.register_map(name, bpf_map)
+        return bpf_map
+
+    # -- remote-side reverse lookups (data path decoding) --------------------
+
+    def _helper_at(self, address: int) -> Optional[int]:
+        return self._helper_addr_to_id.get(address)
+
+    def _map_slot_at(self, address: int) -> Optional[int]:
+        slot = self._maps_by_addr.get(address)
+        if slot is not None:
+            return slot
+        return self._adopt_remote_map(address)
+
+    def _adopt_remote_map(self, address: int) -> Optional[int]:
+        """Discover a remotely deployed XState map from its header.
+
+        The control plane wrote ``[header][slots...]`` into the
+        scratchpad; ``address`` points at the slot area.  The header
+        carries the geometry, so the data path can construct its local
+        view without any agent involvement.
+        """
+        header_addr = address - params.XSTATE_HEADER_BYTES
+        if not (
+            self.scratchpad_base
+            <= header_addr
+            < self.scratchpad_base + self.scratchpad_bytes
+        ):
+            return None
+        header = self.host.cache.cpu_read(header_addr, params.XSTATE_HEADER_BYTES)
+        if header[0] == 0:
+            return None
+        from repro.core.xstate import decode_xstate_header
+
+        decoded = decode_xstate_header(bytes(header))
+        if decoded is None:
+            return None
+        bpf_map = MemoryBackedMap(
+            self.host.cache,
+            address,
+            decoded.map_type,
+            decoded.key_size,
+            decoded.value_size,
+            decoded.max_entries,
+            name=f"xstate@{address:#x}",
+            initialize=False,
+        )
+        slot = len(self.maps)
+        self.maps.append(bpf_map)
+        self._maps_by_addr[address] = slot
+        return slot
+
+    # -- data-path execution -------------------------------------------------
+
+    def run_hook(
+        self, hook_name: str, ctx: bytes, time_ns: int = 0
+    ) -> tuple[Optional[ExecutionResult], float]:
+        """Execute the extension attached at ``hook_name``.
+
+        Returns ``(result, cpu_cost_us)``; result is None when the hook
+        is empty.  All reads go through the cache, so stale pointers
+        and torn images behave exactly as on real hardware; corruption
+        raises :class:`SandboxCrash` and marks the sandbox crashed.
+        """
+        pointer = self.hook_table.read_pointer(hook_name)
+        if pointer == 0:
+            return None, 0.1  # empty-hook fast path
+        try:
+            insns = self._decode_at(pointer)
+            interp = Interpreter(maps=self.maps, time_ns=time_ns)
+            result = interp.run(insns, ctx)
+        except SandboxCrash as crash:
+            self.crashed = True
+            self.crash_reason = str(crash)
+            raise
+        self.events_executed += 1
+        cost_us = result.insns_executed / params.CPU_INSN_PER_US + 0.2
+        return result, cost_us
+
+    def run_wasm_hook(
+        self, hook_name: str, request_ctx, args: tuple[int, ...] = ()
+    ) -> tuple[Optional[object], float]:
+        """Execute the Wasm filter attached at ``hook_name``.
+
+        Mirrors :meth:`run_hook` for the stack-machine flavour: reads
+        go through the cache, corruption crashes the sandbox.  Returns
+        ``(WasmResult | None, cpu_cost_us)``.
+        """
+        from repro.wasm.compiler import decode_wasm_image
+        from repro.wasm.runtime import WasmRuntime
+
+        pointer = self.hook_table.read_pointer(hook_name)
+        if pointer == 0:
+            return None, 0.1
+        try:
+            header = self.host.cache.cpu_read(pointer, 8)
+            slot_count = int.from_bytes(header[4:8], "little")
+            total = 8 + slot_count * 10 + 4
+            if total > self.code_bytes or slot_count > 2_000_000:
+                raise SandboxCrash(f"implausible image header at {pointer:#x}")
+            image = self.host.cache.cpu_read(pointer, total)
+            instrs = self._decode_cache.get(image)
+            if instrs is None:
+                instrs = decode_wasm_image(
+                    image,
+                    host_call_at=self._hostcall_addr_to_id.get,
+                    expect_arch=self.arch,
+                )
+                self._decode_cache[image] = instrs
+            result = WasmRuntime().run(instrs, request_ctx, args=args)
+        except SandboxCrash as crash:
+            self.crashed = True
+            self.crash_reason = str(crash)
+            raise
+        self.events_executed += 1
+        cost_us = result.insns_executed / params.CPU_INSN_PER_US + 0.2
+        return result, cost_us
+
+    def _decode_at(self, code_addr: int):
+        header = self.host.cache.cpu_read(code_addr, 8)
+        slot_count = int.from_bytes(header[4:8], "little")
+        total = 8 + slot_count * 10 + 4
+        if total > self.code_bytes or slot_count > 2_000_000:
+            raise SandboxCrash(f"implausible image header at {code_addr:#x}")
+        image = self.host.cache.cpu_read(code_addr, total)
+        cached = self._decode_cache.get(image)
+        if cached is None:
+            cached = decode_image(
+                image,
+                helper_at=self._helper_at,
+                map_slot_at=self._map_slot_at,
+                expect_arch=self.arch,
+            )
+            self._decode_cache[image] = cached
+        return cached
+
+    # -- control block accessors ------------------------------------------
+
+    @property
+    def lock_addr(self) -> int:
+        return self.control_addr + OFF_LOCK
+
+    @property
+    def epoch_addr(self) -> int:
+        return self.control_addr + OFF_EPOCH
+
+    @property
+    def bubble_addr(self) -> int:
+        return self.control_addr + OFF_BUBBLE
+
+    def bubble_active(self) -> bool:
+        """Data-path check of the BBU buffering flag (through cache)."""
+        return unpack_qword(self.host.cache.cpu_read(self.bubble_addr, 8)) != 0
+
+    def epoch(self) -> int:
+        return unpack_qword(self.host.cache.cpu_read(self.epoch_addr, 8))
+
+    def cpu_try_lock(self, owner: int) -> bool:
+        """CPU-side lock acquire (lock-prefixed CAS semantics: DRAM truth)."""
+        current = unpack_qword(self.host.memory.read(self.lock_addr, 8))
+        if current != 0:
+            return False
+        self.host.cache.cpu_write(self.lock_addr, pack_qword(owner))
+        return True
+
+    def cpu_unlock(self, owner: int) -> None:
+        current = unpack_qword(self.host.memory.read(self.lock_addr, 8))
+        if current != owner:
+            raise SandboxError(f"unlock by non-owner {owner}")
+        self.host.cache.cpu_write(self.lock_addr, pack_qword(0))

@@ -1,0 +1,55 @@
+"""Discrete-event simulation kernel.
+
+This package provides the simulated clock, process model, and shared
+resources on which every other subsystem in :mod:`repro` runs.  The
+design follows the classic event-calendar architecture (SimPy-style):
+
+* :class:`~repro.sim.core.Simulator` owns a priority queue of timestamped
+  events and advances virtual time from event to event.
+* :class:`~repro.sim.core.Process` wraps a Python generator; the
+  generator yields :class:`~repro.sim.core.Event` objects (timeouts,
+  resource grants, completions) and is resumed when they fire.
+* :mod:`~repro.sim.resources` models contended hardware (CPU cores,
+  locks, bounded queues) so that control-path and data-path work can
+  interfere with each other exactly as in the paper's §2.2.
+
+All simulated time is expressed in **microseconds** (floats).  The
+constants :data:`US`, :data:`MS`, and :data:`S` convert between scales.
+"""
+
+from repro.sim.core import (
+    US,
+    MS,
+    S,
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Container, CPU, Mutex, Resource, Store
+from repro.sim.trace import TraceRecorder, TraceEvent
+
+__all__ = [
+    "US",
+    "MS",
+    "S",
+    "AllOf",
+    "AnyOf",
+    "CPU",
+    "Container",
+    "Event",
+    "Interrupt",
+    "Mutex",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceEvent",
+    "TraceRecorder",
+]

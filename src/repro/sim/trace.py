@@ -1,0 +1,75 @@
+"""Lightweight structured tracing for experiments and debugging.
+
+Experiments record :class:`TraceEvent` rows (time, category, payload)
+into a :class:`TraceRecorder`; the experiment harness then filters and
+aggregates them into the figures' series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence.
+
+    ``time_us`` is the simulated timestamp; ``category`` is a short
+    dotted label like ``"rdx.deploy"`` or ``"agent.verify"``; ``data``
+    holds free-form structured payload.
+    """
+
+    time_us: float
+    category: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def record(self, time_us: float, category: str, **data: Any) -> None:
+        """Append one event (no-op when tracing is disabled)."""
+        if self.enabled:
+            self.events.append(TraceEvent(time_us, category, data))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> Iterator[TraceEvent]:
+        """Yield events matching a category prefix and/or predicate."""
+        for event in self.events:
+            if category is not None and not event.category.startswith(category):
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            yield event
+
+    def durations(self, start_category: str, end_category: str, key: str) -> list[float]:
+        """Pair start/end events by ``data[key]`` and return durations.
+
+        Unmatched starts (no end seen) are ignored; an end without a
+        start is ignored as well.  Useful for e.g. injection latency:
+        pair ``agent.inject.start`` / ``agent.inject.done`` on ``ext_id``.
+        """
+        starts: dict[Any, float] = {}
+        durations: list[float] = []
+        for event in self.events:
+            if event.category == start_category:
+                starts[event.data.get(key)] = event.time_us
+            elif event.category == end_category:
+                begun = starts.pop(event.data.get(key), None)
+                if begun is not None:
+                    durations.append(event.time_us - begun)
+        return durations

@@ -1,0 +1,32 @@
+"""User-defined functions: the third extension family (paper §1, §2.1).
+
+UDFs are short-lived, per-query extensions (BigQuery/PolarDB style):
+a query arrives with its UDF attached, the engine validates + compiles
++ injects it, runs the scan, and detaches.  At that cadence the
+injection path *is* the latency floor -- the paper's microsecond-scale
+motivation (§2.2 Obs 1).
+
+UDF expressions compile to the same stack ISA as Wasm filters
+(:mod:`repro.wasm.module`), so the whole CodeFlow pipeline -- and the
+torn-write/relocation machinery -- applies unchanged.
+"""
+
+from repro.udf.expr import Arg, BinOp, Call, Const, UdfExpr, udf_eval
+from repro.udf.validator import UdfValidationStats, udf_validate
+from repro.udf.compiler import compile_udf
+from repro.udf.engine import Query, QueryEngine, QueryResult
+
+__all__ = [
+    "Arg",
+    "BinOp",
+    "Call",
+    "Const",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "UdfExpr",
+    "UdfValidationStats",
+    "compile_udf",
+    "udf_eval",
+    "udf_validate",
+]

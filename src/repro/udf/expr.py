@@ -1,0 +1,115 @@
+"""UDF expression trees (the user-facing surface).
+
+A UDF is a pure integer expression over row columns::
+
+    Call("clamp", BinOp("*", Arg(0), Const(3)), Const(0), Const(100))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.errors import ReproError
+
+_U32 = (1 << 32) - 1
+
+#: Builtin function -> arity.
+BUILTINS = {"abs": 1, "min": 2, "max": 2, "clamp": 3}
+
+#: Binary operators supported in expressions.
+BINOPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>")
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+
+@dataclass(frozen=True)
+class Arg:
+    """Row column reference (0-based)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "UdfExpr"
+    right: "UdfExpr"
+
+
+@dataclass(frozen=True)
+class Call:
+    """Builtin call; see :data:`BUILTINS`."""
+
+    func: str
+    args: tuple
+
+    def __init__(self, func: str, *args: "UdfExpr"):
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "args", tuple(args))
+
+
+UdfExpr = Union[Const, Arg, BinOp, Call]
+
+
+def node_count(expr: UdfExpr) -> int:
+    """Total AST nodes (drives the validation/compile cost model)."""
+    if isinstance(expr, (Const, Arg)):
+        return 1
+    if isinstance(expr, BinOp):
+        return 1 + node_count(expr.left) + node_count(expr.right)
+    if isinstance(expr, Call):
+        return 1 + sum(node_count(arg) for arg in expr.args)
+    raise ReproError(f"unknown expression node {expr!r}")
+
+
+def udf_eval(expr: UdfExpr, row: Sequence[int]) -> int:
+    """Reference evaluator (32-bit unsigned semantics)."""
+    if isinstance(expr, Const):
+        return expr.value & _U32
+    if isinstance(expr, Arg):
+        if expr.index >= len(row):
+            raise ReproError(f"arg {expr.index} beyond row width {len(row)}")
+        return row[expr.index] & _U32
+    if isinstance(expr, BinOp):
+        left = udf_eval(expr.left, row)
+        right = udf_eval(expr.right, row)
+        return _apply(expr.op, left, right)
+    if isinstance(expr, Call):
+        values = [udf_eval(arg, row) for arg in expr.args]
+        if expr.func == "abs":
+            return values[0]  # unsigned domain: identity
+        if expr.func == "min":
+            return min(values)
+        if expr.func == "max":
+            return max(values)
+        if expr.func == "clamp":
+            return min(max(values[0], values[1]), values[2])
+    raise ReproError(f"unknown expression node {expr!r}")
+
+
+def _apply(op: str, left: int, right: int) -> int:
+    if op == "+":
+        return (left + right) & _U32
+    if op == "-":
+        return (left - right) & _U32
+    if op == "*":
+        return (left * right) & _U32
+    if op == "/":
+        return (left // right) & _U32 if right else 0
+    if op == "%":
+        return (left % right) & _U32 if right else left
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return (left << (right % 32)) & _U32
+    if op == ">>":
+        return left >> (right % 32)
+    raise ReproError(f"unknown operator {op!r}")

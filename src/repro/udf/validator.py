@@ -1,0 +1,76 @@
+"""Static validation of UDF expressions before compilation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VerifierError
+from repro.udf.expr import Arg, BINOPS, BinOp, BUILTINS, Call, Const, UdfExpr
+
+MAX_NODES = 10_000
+MAX_DEPTH = 64
+
+
+@dataclass
+class UdfValidationStats:
+    nodes: int
+    depth: int
+    args_used: tuple[int, ...]
+
+
+def udf_validate(expr: UdfExpr, row_width: int = 8) -> UdfValidationStats:
+    """Validate ``expr``; raises :class:`VerifierError` on rejection.
+
+    Checks node/depth budgets, operator and builtin validity (incl.
+    arity), argument indices against the table's row width, and
+    statically-zero divisors.
+    """
+    nodes = 0
+    max_depth = 0
+    args_used: set[int] = set()
+
+    def walk(node: UdfExpr, depth: int) -> None:
+        nonlocal nodes, max_depth
+        nodes += 1
+        max_depth = max(max_depth, depth)
+        if nodes > MAX_NODES:
+            raise VerifierError("UDF too large")
+        if depth > MAX_DEPTH:
+            raise VerifierError("UDF too deep")
+        if isinstance(node, Const):
+            if not -(2**31) <= node.value < 2**32:
+                raise VerifierError(f"constant {node.value} out of range")
+            return
+        if isinstance(node, Arg):
+            if not 0 <= node.index < row_width:
+                raise VerifierError(
+                    f"arg {node.index} outside row width {row_width}"
+                )
+            args_used.add(node.index)
+            return
+        if isinstance(node, BinOp):
+            if node.op not in BINOPS:
+                raise VerifierError(f"unknown operator {node.op!r}")
+            if node.op in ("/", "%") and isinstance(node.right, Const):
+                if node.right.value == 0:
+                    raise VerifierError("division by constant zero")
+            walk(node.left, depth + 1)
+            walk(node.right, depth + 1)
+            return
+        if isinstance(node, Call):
+            arity = BUILTINS.get(node.func)
+            if arity is None:
+                raise VerifierError(f"unknown builtin {node.func!r}")
+            if len(node.args) != arity:
+                raise VerifierError(
+                    f"{node.func} expects {arity} args, got {len(node.args)}"
+                )
+            for arg in node.args:
+                walk(arg, depth + 1)
+            return
+        raise VerifierError(f"unknown node type {type(node).__name__}")
+
+    walk(expr, 1)
+    return UdfValidationStats(
+        nodes=nodes, depth=max_depth, args_used=tuple(sorted(args_used))
+    )

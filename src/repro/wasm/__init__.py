@@ -1,0 +1,51 @@
+"""A compact Wasm-filter substrate (proxy-wasm analogue).
+
+Service meshes attach Wasm filters to sidecar proxies for L7 policy
+(paper §2.1).  This package mirrors the eBPF substrate's shape with a
+stack machine instead of a register machine:
+
+* :mod:`~repro.wasm.module` -- fixed-width stack bytecode + builder,
+* :mod:`~repro.wasm.validator` -- stack-discipline type checking,
+  forward-only control flow, host-call arity checks,
+* :mod:`~repro.wasm.compiler` -- native-image emission with host-call
+  relocations (same slot container as the eBPF JIT, wasm arch ids),
+* :mod:`~repro.wasm.runtime` -- the sandboxed stack interpreter over a
+  request context,
+* :mod:`~repro.wasm.filters` -- ready-made header/route/rate-limit
+  filters used by the mesh experiments.
+
+Validation+compilation is ~:data:`repro.params.WASM_COMPILE_FACTOR`x
+costlier per instruction than eBPF, matching the paper's observation
+that Wasm agents (Envoy sidecars) are heavier than eBPF agents.
+"""
+
+from repro.wasm.module import WInstr, WasmModule, WasmBuilder, WOp
+from repro.wasm.validator import WasmValidationStats, wasm_validate
+from repro.wasm.compiler import decode_wasm_image, wasm_compile
+from repro.wasm.runtime import RequestContext, WasmRuntime
+from repro.wasm.filters import (
+    make_header_filter,
+    make_rate_limit_filter,
+    make_routing_filter,
+    make_telemetry_filter,
+)
+from repro.wasm.hostcalls import HOST_CALLS, HostCall
+
+__all__ = [
+    "HOST_CALLS",
+    "HostCall",
+    "RequestContext",
+    "WInstr",
+    "WOp",
+    "WasmBuilder",
+    "WasmModule",
+    "WasmRuntime",
+    "WasmValidationStats",
+    "decode_wasm_image",
+    "make_header_filter",
+    "make_rate_limit_filter",
+    "make_routing_filter",
+    "make_telemetry_filter",
+    "wasm_compile",
+    "wasm_validate",
+]

@@ -1,0 +1,131 @@
+"""Wasm -> native image compilation with host-call relocations.
+
+Reuses the slot-container of :mod:`repro.ebpf.jit` (header, 10-byte
+checksummed slots, trailing CRC) with wasm-specific architecture ids,
+so RDX's deployment path, torn-write detection, and linking machinery
+apply to Wasm filters unchanged -- the paper's claim that CodeFlow
+generalizes across extension frameworks.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Callable, Optional
+
+from repro.errors import JitError, SandboxCrash
+from repro.ebpf.jit import JitBinary, PLACEHOLDER, Relocation, RelocKind
+from repro.wasm.hostcalls import host_call_by_id
+from repro.wasm.module import WInstr, WasmModule, WOp
+
+MAGIC = b"RJ"
+VERSION = 1
+_HEADER = struct.Struct("<2sBBI")
+_SLOT_BYTES = 10
+
+_WASM_ARCH_IDS = {"x86_64": 3, "arm64": 4}
+_WASM_ARCH_NAMES = {v: k for k, v in _WASM_ARCH_IDS.items()}
+_WASM_PREFIX = {"x86_64": (0x9C, 0x9D), "arm64": (0xAC, 0xAD)}
+
+
+def wasm_compile(module: WasmModule, arch: str = "x86_64") -> JitBinary:
+    """Compile a validated module for ``arch``; returns a JitBinary."""
+    try:
+        insn_prefix, operand_prefix = _WASM_PREFIX[arch]
+    except KeyError:
+        raise JitError(f"unsupported wasm target {arch!r}") from None
+
+    slots: list[bytes] = []
+    relocations: list[Relocation] = []
+    symbols: dict[str, list[int]] = {}
+
+    def emit(prefix: int, payload: bytes) -> int:
+        offset = _HEADER.size + len(slots) * _SLOT_BYTES + 1
+        checksum = (prefix + sum(payload)) & 0xFF
+        slots.append(bytes([prefix]) + payload + bytes([checksum]))
+        return offset
+
+    for instr in module.insns:
+        emit(insn_prefix, instr.encode())
+        if instr.op is WOp.CALL_HOST:
+            call = host_call_by_id(instr.imm)
+            if call is None:
+                raise JitError(f"unknown host call id {instr.imm}")
+            offset = emit(operand_prefix, PLACEHOLDER.to_bytes(8, "little"))
+            relocations.append(
+                Relocation(offset=offset, kind=RelocKind.HELPER, symbol=call.name)
+            )
+            symbols.setdefault(call.name, []).append(offset)
+
+    header = _HEADER.pack(MAGIC, VERSION, _WASM_ARCH_IDS[arch], len(slots))
+    body = header + b"".join(slots)
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return JitBinary(
+        code=body + crc.to_bytes(4, "little"),
+        arch=arch,
+        insn_cnt=len(module.insns),
+        relocations=relocations,
+        symbols=symbols,
+    )
+
+
+def decode_wasm_image(
+    code: bytes,
+    host_call_at: Callable[[int], Optional[int]],
+    expect_arch: str = "x86_64",
+) -> list[WInstr]:
+    """Decode a linked wasm image back to instructions.
+
+    ``host_call_at`` reverse-maps a resolved local address to a host
+    call id.  Raises :class:`SandboxCrash` on corruption, placeholder
+    operands, or unknown addresses.
+    """
+    if len(code) < _HEADER.size + 4:
+        raise SandboxCrash("wasm image too short")
+    magic, version, arch_id, slot_count = _HEADER.unpack_from(code)
+    if magic != MAGIC or version != VERSION:
+        raise SandboxCrash("bad wasm image magic/version")
+    arch = _WASM_ARCH_NAMES.get(arch_id)
+    if arch is None:
+        raise SandboxCrash(f"not a wasm image (arch id {arch_id})")
+    if arch != expect_arch:
+        raise SandboxCrash(f"wasm architecture mismatch: image={arch}")
+    expected_len = _HEADER.size + slot_count * _SLOT_BYTES + 4
+    if len(code) != expected_len:
+        raise SandboxCrash("wasm image length mismatch")
+    if zlib.crc32(code[:-4]) & 0xFFFFFFFF != int.from_bytes(code[-4:], "little"):
+        raise SandboxCrash("wasm image CRC mismatch (torn or corrupt write)")
+
+    insn_prefix, operand_prefix = _WASM_PREFIX[arch]
+    instrs: list[WInstr] = []
+    index = 0
+    raw_slots = []
+    for slot_index in range(slot_count):
+        start = _HEADER.size + slot_index * _SLOT_BYTES
+        slot = code[start : start + _SLOT_BYTES]
+        if (slot[0] + sum(slot[1:9])) & 0xFF != slot[9]:
+            raise SandboxCrash(f"wasm slot {slot_index} checksum mismatch")
+        raw_slots.append((slot[0], slot[1:9]))
+
+    while index < len(raw_slots):
+        prefix, payload = raw_slots[index]
+        if prefix != insn_prefix:
+            raise SandboxCrash(f"unexpected wasm operand slot at {index}")
+        instr = WInstr.decode(payload)
+        if instr.op is WOp.CALL_HOST:
+            index += 1
+            if index >= len(raw_slots):
+                raise SandboxCrash("truncated wasm host-call operand")
+            prefix2, operand = raw_slots[index]
+            if prefix2 != operand_prefix:
+                raise SandboxCrash("expected wasm operand slot")
+            address = int.from_bytes(operand, "little")
+            if address == PLACEHOLDER:
+                raise SandboxCrash("unresolved wasm host-call relocation")
+            call_id = host_call_at(address)
+            if call_id is None:
+                raise SandboxCrash(f"host-call address {address:#x} unknown")
+            instr = WInstr(op=instr.op, aux=instr.aux, imm=call_id)
+        instrs.append(instr)
+        index += 1
+    return instrs

@@ -1,0 +1,136 @@
+"""Ready-made Wasm filters for the mesh experiments.
+
+Each factory builds a validated module implementing one of the common
+sidecar policies the paper's §2.1 enumerates (L7 routing, security
+headers, rate limiting, telemetry).  A ``version`` parameter changes
+the module's behaviour *and* its tag, so rollout experiments can
+distinguish old from new logic on the data path -- which is how the
+consistency probe detects mixed-version windows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.wasm.module import WasmBuilder, WasmModule, WOp
+from repro.wasm.validator import wasm_validate
+
+#: Header key filters use to stamp the logic version they ran.
+VERSION_HEADER_KEY = 0xBEEF
+
+#: Verdicts (mirrors runtime.CONTINUE/PAUSE/DENY).
+CONTINUE = 0
+DENY = 2
+
+
+def make_header_filter(
+    version: int = 1, name: str = "hdr", padding: int = 0
+) -> WasmModule:
+    """Stamp the request with this filter's logic version and continue.
+
+    The mesh consistency probe reads the stamped value to detect mixed
+    old/new logic along a request's path.  ``padding`` appends that
+    many PUSH/DROP instruction pairs x2, sizing the module like a real
+    production filter (hundreds of KB) so validation/compile costs are
+    realistic in rollout experiments.
+    """
+    builder = (
+        WasmBuilder(name=f"{name}_v{version}")
+        .push(VERSION_HEADER_KEY)
+        .push(version)
+        .call_host("proxy_set_header")
+        .emit(WOp.DROP)
+    )
+    for index in range(padding):
+        builder.push((index * 2_654_435_761 + version) & 0x7FFFFFFF)
+        builder.emit(WOp.DROP)
+    builder.push(CONTINUE).ret()
+    module = builder.build()
+    wasm_validate(module)
+    return module
+
+
+def make_routing_filter(
+    n_routes: int = 4, version: int = 1, name: str = "route"
+) -> WasmModule:
+    """L7 routing: route = (path_hash + version) % n_routes."""
+    if n_routes < 1:
+        raise ReproError("need at least one route")
+    module = (
+        WasmBuilder(name=f"{name}_v{version}")
+        .call_host("proxy_get_path_hash")
+        .push(version)
+        .alu(WOp.ADD)
+        .push(n_routes)
+        .alu(WOp.REM_U)
+        .call_host("proxy_set_route")
+        .emit(WOp.DROP)
+        .push(VERSION_HEADER_KEY)
+        .push(version)
+        .call_host("proxy_set_header")
+        .emit(WOp.DROP)
+        .push(CONTINUE)
+        .ret()
+        .build()
+    )
+    wasm_validate(module)
+    return module
+
+
+def make_rate_limit_filter(
+    limit: int,
+    counter_slot: int = 1,
+    version: int = 1,
+    name: str = "rl",
+    padding: int = 0,
+) -> WasmModule:
+    """Deny once the per-chain counter exceeds ``limit``.
+
+    ``padding`` sizes the module like a production filter (see
+    :func:`make_header_filter`).
+    """
+    builder = WasmBuilder(name=f"{name}_v{version}")
+    for index in range(padding):
+        builder.push((index * 40_503 + version) & 0x7FFFFFFF)
+        builder.emit(WOp.DROP)
+    (
+        builder
+        .push(counter_slot)
+        .call_host("proxy_counter_incr")
+        .push(limit)
+        .alu(WOp.GT_U)
+        .br_if("deny")
+        .push(VERSION_HEADER_KEY)
+        .push(version)
+        .call_host("proxy_set_header")
+        .emit(WOp.DROP)
+        .push(CONTINUE)
+        .ret()
+        .label("deny")
+        .push(DENY)
+        .ret()
+    )
+    module = builder.build()
+    wasm_validate(module)
+    return module
+
+
+def make_telemetry_filter(
+    counter_slot: int = 7, version: int = 1, name: str = "telemetry"
+) -> WasmModule:
+    """Count requests and log the running total (Pixie-style)."""
+    module = (
+        WasmBuilder(name=f"{name}_v{version}")
+        .push(counter_slot)
+        .call_host("proxy_counter_incr")
+        .call_host("proxy_log")
+        .emit(WOp.DROP)
+        .push(VERSION_HEADER_KEY)
+        .push(version)
+        .call_host("proxy_set_header")
+        .emit(WOp.DROP)
+        .push(CONTINUE)
+        .ret()
+        .build()
+    )
+    wasm_validate(module)
+    return module

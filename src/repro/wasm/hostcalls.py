@@ -1,0 +1,92 @@
+"""Host-function imports available to Wasm filters (proxy-wasm ABI).
+
+Like eBPF helpers, host calls are the filter's window into the local
+runtime: their addresses are per-sandbox, so each call site in a
+compiled image carries a relocation that must be linked against the
+target GOT (§3.3 applies to Wasm exactly as to eBPF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class HostCall:
+    """One importable host function."""
+
+    call_id: int
+    name: str
+    n_args: int
+    returns: bool
+    impl: Callable
+
+
+def _get_header(ctx, key):
+    return ctx.headers.get(key, 0)
+
+
+def _set_header(ctx, key, value):
+    ctx.headers[key] = value
+    return 0
+
+
+def _get_path_hash(ctx):
+    return ctx.path_hash
+
+
+def _set_route(ctx, route):
+    ctx.route = route
+    return 0
+
+
+def _log(ctx, value):
+    ctx.log.append(value)
+    return 0
+
+
+def _counter_incr(ctx, slot):
+    ctx.counters[slot] = ctx.counters.get(slot, 0) + 1
+    return ctx.counters[slot]
+
+
+def _counter_get(ctx, slot):
+    return ctx.counters.get(slot, 0)
+
+
+def _get_status(ctx):
+    return ctx.status
+
+
+def _set_status(ctx, status):
+    ctx.status = status
+    return 0
+
+
+def _now_us(ctx):
+    return int(ctx.now_us)
+
+
+HOST_CALLS: dict[int, HostCall] = {
+    1: HostCall(1, "proxy_get_header", 1, True, _get_header),
+    2: HostCall(2, "proxy_set_header", 2, True, _set_header),
+    3: HostCall(3, "proxy_get_path_hash", 0, True, _get_path_hash),
+    4: HostCall(4, "proxy_set_route", 1, True, _set_route),
+    5: HostCall(5, "proxy_log", 1, True, _log),
+    6: HostCall(6, "proxy_counter_incr", 1, True, _counter_incr),
+    7: HostCall(7, "proxy_counter_get", 1, True, _counter_get),
+    8: HostCall(8, "proxy_get_status", 0, True, _get_status),
+    9: HostCall(9, "proxy_set_status", 1, True, _set_status),
+    10: HostCall(10, "proxy_now_us", 0, True, _now_us),
+}
+
+_BY_NAME = {hc.name: hc for hc in HOST_CALLS.values()}
+
+
+def host_call_by_id(call_id: int) -> Optional[HostCall]:
+    return HOST_CALLS.get(call_id)
+
+
+def host_call_by_name(name: str) -> Optional[HostCall]:
+    return _BY_NAME.get(name)

@@ -1,0 +1,166 @@
+"""The Wasm-filter stack interpreter and request context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SandboxError
+from repro.wasm.hostcalls import host_call_by_id
+from repro.wasm.module import WInstr, WOp
+from repro.wasm.validator import MAX_STACK_DEPTH, N_ARG_LOCALS
+
+_U32 = (1 << 32) - 1
+
+#: Filter return codes (proxy-wasm FilterHeadersStatus analogue).
+CONTINUE = 0
+PAUSE = 1
+DENY = 2
+
+
+@dataclass
+class RequestContext:
+    """The L7 request a filter chain operates on."""
+
+    path_hash: int = 0
+    headers: dict[int, int] = field(default_factory=dict)
+    status: int = 200
+    route: int = 0
+    now_us: float = 0.0
+    counters: dict[int, int] = field(default_factory=dict)
+    log: list[int] = field(default_factory=list)
+
+
+@dataclass
+class WasmResult:
+    """Outcome of one filter invocation."""
+
+    value: int
+    insns_executed: int
+
+    @property
+    def verdict(self) -> int:
+        return self.value
+
+
+class WasmRuntime:
+    """Executes validated (or decoded) filter bytecode on a request."""
+
+    def __init__(self, insn_budget: int = 1_000_000):
+        self.insn_budget = insn_budget
+
+    def run(
+        self,
+        insns: list[WInstr],
+        ctx: RequestContext,
+        args: tuple[int, ...] = (),
+        n_locals: int = 8,
+    ) -> WasmResult:
+        """Run the filter; returns its RETURN value (the verdict)."""
+        stack: list[int] = []
+        locals_ = [0] * max(n_locals, N_ARG_LOCALS)
+        for index, arg in enumerate(args[: len(locals_)]):
+            locals_[index] = arg & _U32
+        pc = 0
+        executed = 0
+        while True:
+            if executed >= self.insn_budget:
+                raise SandboxError("wasm instruction budget exhausted")
+            if not 0 <= pc < len(insns):
+                raise SandboxError(f"wasm pc {pc} out of range")
+            instr = insns[pc]
+            executed += 1
+            op = instr.op
+
+            if op is WOp.NOP:
+                pc += 1
+            elif op is WOp.PUSH:
+                stack.append(instr.imm & _U32)
+                pc += 1
+            elif op is WOp.DROP:
+                self._pop(stack)
+                pc += 1
+            elif op is WOp.DUP:
+                stack.append(self._peek(stack))
+                pc += 1
+            elif op is WOp.GET_LOCAL:
+                if instr.aux >= len(locals_):
+                    raise SandboxError(f"local {instr.aux} out of range")
+                stack.append(locals_[instr.aux])
+                pc += 1
+            elif op is WOp.SET_LOCAL:
+                if instr.aux >= len(locals_):
+                    raise SandboxError(f"local {instr.aux} out of range")
+                locals_[instr.aux] = self._pop(stack)
+                pc += 1
+            elif op is WOp.BR:
+                pc += 1 + instr.imm
+            elif op is WOp.BR_IF:
+                taken = self._pop(stack)
+                pc += 1 + instr.imm if taken else 1
+            elif op is WOp.CALL_HOST:
+                call = host_call_by_id(instr.imm)
+                if call is None:
+                    raise SandboxError(f"unknown host call {instr.imm}")
+                call_args = [self._pop(stack) for _ in range(call.n_args)]
+                call_args.reverse()
+                result = call.impl(ctx, *call_args)
+                if call.returns:
+                    stack.append((result or 0) & _U32)
+                pc += 1
+            elif op is WOp.RETURN:
+                return WasmResult(value=self._pop(stack), insns_executed=executed)
+            else:
+                result = self._alu(op, stack)
+                stack.append(result)
+                pc += 1
+            if len(stack) > MAX_STACK_DEPTH:
+                raise SandboxError("wasm stack overflow")
+
+    @staticmethod
+    def _pop(stack: list[int]) -> int:
+        if not stack:
+            raise SandboxError("wasm stack underflow")
+        return stack.pop()
+
+    @staticmethod
+    def _peek(stack: list[int]) -> int:
+        if not stack:
+            raise SandboxError("wasm stack underflow")
+        return stack[-1]
+
+    def _alu(self, op: WOp, stack: list[int]) -> int:
+        right = self._pop(stack)
+        left = self._pop(stack)
+        if op is WOp.ADD:
+            return (left + right) & _U32
+        if op is WOp.SUB:
+            return (left - right) & _U32
+        if op is WOp.MUL:
+            return (left * right) & _U32
+        if op is WOp.DIV_U:
+            return (left // right) & _U32 if right else 0
+        if op is WOp.REM_U:
+            return (left % right) & _U32 if right else left
+        if op is WOp.AND:
+            return left & right
+        if op is WOp.OR:
+            return left | right
+        if op is WOp.XOR:
+            return left ^ right
+        if op is WOp.SHL:
+            return (left << (right % 32)) & _U32
+        if op is WOp.SHR_U:
+            return left >> (right % 32)
+        if op is WOp.EQ:
+            return int(left == right)
+        if op is WOp.NE:
+            return int(left != right)
+        if op is WOp.LT_U:
+            return int(left < right)
+        if op is WOp.GT_U:
+            return int(left > right)
+        if op is WOp.LE_U:
+            return int(left <= right)
+        if op is WOp.GE_U:
+            return int(left >= right)
+        raise SandboxError(f"unsupported wasm ALU op {op}")

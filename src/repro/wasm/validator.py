@@ -1,0 +1,160 @@
+"""Wasm filter validation: stack discipline + bounded control flow.
+
+Checks (all static, before any compilation):
+
+* stack depth is consistent along every path and never negative,
+* every path ends in RETURN with exactly one value on the stack,
+* branches are strictly forward (termination by construction),
+* locals are within the declared count; reads-before-writes are
+  rejected for locals above the argument window,
+* host calls exist and get the right number of stack operands,
+* a stack-depth cap (sandbox resource bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VerifierError
+from repro.wasm.hostcalls import host_call_by_id
+from repro.wasm.module import WInstr, WasmModule, WOp
+
+MAX_STACK_DEPTH = 64
+MAX_INSNS = 500_000
+
+#: Locals [0, N_ARG_LOCALS) are pre-initialized argument slots.
+N_ARG_LOCALS = 2
+
+_ALU_2 = {
+    WOp.ADD, WOp.SUB, WOp.MUL, WOp.DIV_U, WOp.REM_U, WOp.AND, WOp.OR,
+    WOp.XOR, WOp.SHL, WOp.SHR_U, WOp.EQ, WOp.NE, WOp.LT_U, WOp.GT_U,
+    WOp.LE_U, WOp.GE_U,
+}
+
+
+@dataclass
+class WasmValidationStats:
+    """Outcome of a successful validation."""
+
+    insn_count: int
+    states_visited: int = 0
+    max_stack_seen: int = 0
+    host_calls: tuple[str, ...] = ()
+
+
+def wasm_validate(module: WasmModule) -> WasmValidationStats:
+    """Validate ``module``; raises :class:`VerifierError` on rejection."""
+    insns = module.insns
+    if not insns:
+        raise VerifierError("empty wasm module")
+    if len(insns) > MAX_INSNS:
+        raise VerifierError(f"module too large: {len(insns)}")
+    stats = WasmValidationStats(insn_count=len(insns))
+    host_calls: set[str] = set()
+
+    # (pc, depth, initialized-locals-frozenset)
+    seen: dict[int, set] = {}
+    stack = [(0, 0, frozenset(range(min(N_ARG_LOCALS, module.n_locals))))]
+    reached: set[int] = set()
+
+    while stack:
+        pc, depth, inited = stack.pop()
+        key = (depth, inited)
+        if key in seen.setdefault(pc, set()):
+            continue
+        seen[pc].add(key)
+        stats.states_visited += 1
+        if stats.states_visited > MAX_INSNS * 4:
+            raise VerifierError("wasm validation state budget exceeded")
+        if pc >= len(insns):
+            raise VerifierError(f"fallthrough off the end at {pc}")
+        reached.add(pc)
+        instr = insns[pc]
+        stats.max_stack_seen = max(stats.max_stack_seen, depth)
+        successors = _step(module, pc, instr, depth, inited, host_calls)
+        stack.extend(successors)
+
+    index = 0
+    while index < len(insns):
+        if index not in reached:
+            raise VerifierError(f"unreachable wasm instruction at {index}")
+        index += 1
+    stats.host_calls = tuple(sorted(host_calls))
+    return stats
+
+
+def _step(module, pc: int, instr: WInstr, depth: int, inited, host_calls):
+    op = instr.op
+
+    def need(n: int) -> None:
+        if depth < n:
+            raise VerifierError(f"stack underflow at {pc} ({op.name})")
+
+    def grown(delta: int) -> int:
+        new_depth = depth + delta
+        if new_depth > MAX_STACK_DEPTH:
+            raise VerifierError(f"stack overflow at {pc}")
+        return new_depth
+
+    if op is WOp.NOP:
+        return [(pc + 1, depth, inited)]
+    if op is WOp.PUSH:
+        return [(pc + 1, grown(1), inited)]
+    if op is WOp.DROP:
+        need(1)
+        return [(pc + 1, depth - 1, inited)]
+    if op is WOp.DUP:
+        need(1)
+        return [(pc + 1, grown(1), inited)]
+    if op is WOp.GET_LOCAL:
+        if instr.aux >= module.n_locals:
+            raise VerifierError(f"local {instr.aux} out of range at {pc}")
+        if instr.aux not in inited:
+            raise VerifierError(f"read of uninitialized local {instr.aux} at {pc}")
+        return [(pc + 1, grown(1), inited)]
+    if op is WOp.SET_LOCAL:
+        if instr.aux >= module.n_locals:
+            raise VerifierError(f"local {instr.aux} out of range at {pc}")
+        need(1)
+        return [(pc + 1, depth - 1, inited | {instr.aux})]
+    if op in _ALU_2:
+        need(2)
+        return [(pc + 1, depth - 1, inited)]
+    if op is WOp.BR:
+        target = pc + 1 + instr.imm
+        _check_forward(module, pc, target)
+        return [(target, depth, inited)]
+    if op is WOp.BR_IF:
+        need(1)
+        target = pc + 1 + instr.imm
+        _check_forward(module, pc, target)
+        return [(target, depth - 1, inited), (pc + 1, depth - 1, inited)]
+    if op is WOp.CALL_HOST:
+        call = host_call_by_id(instr.imm)
+        if call is None:
+            raise VerifierError(f"unknown host call id {instr.imm} at {pc}")
+        if call.name not in module.imports:
+            raise VerifierError(
+                f"host call {call.name} not imported by module at {pc}"
+            )
+        need(call.n_args)
+        host_calls.add(call.name)
+        new_depth = depth - call.n_args + (1 if call.returns else 0)
+        if new_depth > MAX_STACK_DEPTH:
+            raise VerifierError(f"stack overflow at {pc}")
+        return [(pc + 1, new_depth, inited)]
+    if op is WOp.RETURN:
+        need(1)
+        if depth != 1:
+            raise VerifierError(
+                f"RETURN with stack depth {depth} (want 1) at {pc}"
+            )
+        return []
+    raise VerifierError(f"unsupported wasm op {op} at {pc}")
+
+
+def _check_forward(module, pc: int, target: int) -> None:
+    if target <= pc:
+        raise VerifierError(f"backward wasm branch {pc} -> {target}")
+    if target > len(module.insns):
+        raise VerifierError(f"branch out of range {pc} -> {target}")

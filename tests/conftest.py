@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp.harness import Testbed, make_testbed
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def testbed() -> Testbed:
+    """A small standard testbed: 1 data host + control host."""
+    return make_testbed(n_hosts=1, cores_per_host=4)
+
+
+@pytest.fixture
+def testbed2() -> Testbed:
+    """Two data hosts (for broadcast/migration tests)."""
+    return make_testbed(n_hosts=2, cores_per_host=4)

@@ -1,0 +1,34 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_quick_fig4b(self, capsys):
+        assert main(["fig4b", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4b" in out
+        assert "verify" in out
+
+    def test_quick_fig5(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "CPKI" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_every_experiment_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig2a", "fig2b", "fig2c", "fig4a", "fig4b", "fig5",
+            "redis", "mesh", "broadcast", "rollback",
+        }

@@ -1,0 +1,170 @@
+"""Collective CodeFlow / BBU tests (§4)."""
+
+import pytest
+
+from repro.core.api import rdx_broadcast
+from repro.core.broadcast import CodeFlowGroup
+from repro.errors import ConsistencyError, DeployError
+from repro.ebpf.stress import make_stress_program
+from repro.exp.harness import make_testbed
+
+
+def programs_for(bed, size=100):
+    return [
+        make_stress_program(size, seed=i + 1, name=f"bc{i}")
+        for i in range(len(bed.codeflows))
+    ]
+
+
+class TestBroadcast:
+    def test_deploys_everywhere(self, testbed2):
+        bed = testbed2
+        progs = programs_for(bed)
+        result = bed.sim.run_process(
+            rdx_broadcast(bed.codeflows, progs, "ingress")
+        )
+        assert result.group_size == 2
+        for sandbox in bed.sandboxes:
+            out, _ = sandbox.run_hook("ingress", bytes(256))
+            assert out is not None
+
+    def test_bubble_raised_then_lowered(self, testbed2):
+        bed = testbed2
+        # Warm the registry so Phase 0 (prepare) is instant and the
+        # observer lands inside the bubble window.
+        for program, codeflow in zip(programs_for(bed), bed.codeflows):
+            bed.sim.run_process(bed.control.prepare_for(codeflow, program))
+        observed = {"during": None}
+
+        def observer():
+            # Sample bubble state mid-broadcast.
+            yield bed.sim.timeout(30)
+            observed["during"] = [sb.bubble_active() for sb in bed.sandboxes]
+
+        bed.sim.spawn(observer())
+        result = bed.sim.run_process(
+            rdx_broadcast(bed.codeflows, programs_for(bed), "ingress")
+        )
+        assert observed["during"] == [True, True]
+        assert all(not sb.bubble_active() for sb in bed.sandboxes)
+        assert result.bubble_window_us > 0
+
+    def test_window_is_microseconds(self, testbed2):
+        bed = testbed2
+        for program, codeflow in zip(programs_for(bed), bed.codeflows):
+            bed.sim.run_process(
+                bed.control.prepare(program, arch=codeflow.manifest.arch)
+            )
+        result = bed.sim.run_process(
+            rdx_broadcast(bed.codeflows, programs_for(bed), "ingress")
+        )
+        assert result.bubble_window_us < 1_000  # sub-millisecond
+
+    def test_dependency_order_controls_lowering(self, testbed2):
+        bed = testbed2
+        lowered = []
+
+        original = CodeFlowGroup._set_bubble
+
+        def spying(self, codeflow, value):
+            if value == 0:
+                lowered.append(codeflow.sandbox.name)
+            return original(self, codeflow, value)
+
+        CodeFlowGroup._set_bubble = spying
+        try:
+            bed.sim.run_process(
+                rdx_broadcast(
+                    bed.codeflows, programs_for(bed), "ingress",
+                    dependency_order=[0, 1],
+                )
+            )
+        finally:
+            CodeFlowGroup._set_bubble = original
+        assert lowered == [bed.sandboxes[0].name, bed.sandboxes[1].name]
+
+    def test_bad_dependency_order(self, testbed2):
+        bed = testbed2
+
+        def flow():
+            yield from CodeFlowGroup(bed.codeflows).broadcast(
+                programs_for(bed), "ingress", dependency_order=[0, 0]
+            )
+
+        process = bed.sim.spawn(flow())
+        bed.sim.run()
+        with pytest.raises(ConsistencyError):
+            _ = process.value
+
+    def test_count_mismatch(self, testbed2):
+        bed = testbed2
+
+        def flow():
+            yield from CodeFlowGroup(bed.codeflows).broadcast(
+                programs_for(bed)[:1], "ingress"
+            )
+
+        process = bed.sim.spawn(flow())
+        bed.sim.run()
+        with pytest.raises(DeployError, match="one program per target"):
+            _ = process.value
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(DeployError):
+            CodeFlowGroup([])
+
+    def test_without_bbu_no_bubble(self, testbed2):
+        bed = testbed2
+        for program, codeflow in zip(programs_for(bed), bed.codeflows):
+            bed.sim.run_process(bed.control.prepare_for(codeflow, program))
+        result = bed.sim.run_process(
+            rdx_broadcast(bed.codeflows, programs_for(bed), "ingress",
+                          use_bbu=False)
+        )
+        # Without BBU there is no bubble phase: the "window" equals
+        # the raw deploy span and no flag was ever raised.
+        assert result.bubble_raised_us == result.started_us
+        assert all(not sb.bubble_active() for sb in bed.sandboxes)
+
+
+class TestBbuConsistencyInvariant:
+    def test_no_request_observes_mixed_logic(self):
+        """The §4 guarantee: with BBU, a request that checks the bubble
+        flag before executing never sees a mix of old and new logic."""
+        from repro.mesh.apps import AppSpec, MicroserviceApp
+        from repro.core.api import bootstrap_sandbox
+        from repro.core.control_plane import RdxControlPlane
+        from repro.mesh.consistency import ConsistencyProbe
+        from repro.net.topology import Host
+        from repro.sim.core import Simulator
+        from repro.wasm.filters import make_header_filter
+
+        sim = Simulator()
+        app = MicroserviceApp(
+            sim, AppSpec(n_services=4, with_agents=False)
+        )
+        control_host = Host(sim, "ctl", cores=8, dram_bytes=32 * 2**20)
+        app.fabric.attach(control_host)
+        control = RdxControlPlane(control_host)
+        codeflows = []
+        for service in app.services():
+            sandbox = app.pods[service].proxy.sandbox
+            bootstrap_sandbox(sandbox)
+            codeflows.append(sim.run_process(control.create_codeflow(sandbox)))
+
+        # Install v1 everywhere via broadcast first.
+        v1 = [make_header_filter(version=1) for _ in codeflows]
+        sim.run_process(rdx_broadcast(codeflows, v1, "filter0"))
+
+        probe = ConsistencyProbe(app, interval_us=5.0)
+        probe.start(duration_us=100_000)
+
+        v2 = [make_header_filter(version=2) for _ in codeflows]
+        sim.run_process(rdx_broadcast(codeflows, v2, "filter0"))
+        sim.run(until=sim.now + 200)
+        probe.stop()
+        sim.run()
+
+        result = probe.result()
+        assert result.probes_sent > 0
+        assert result.mixed_count == 0  # the invariant

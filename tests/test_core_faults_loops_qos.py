@@ -1,0 +1,260 @@
+"""Tests for fault injection, control loops, and QoS isolation (§7)."""
+
+import pytest
+
+from repro.core.faults import FaultInjector, FaultKind, crash_campaign
+from repro.core.loops import ControlLoop, ThresholdPolicy
+from repro.core.qos import QosScheduler, TenantQuota
+from repro.core.xstate import XStateSpec
+from repro.ebpf.maps import BpfMap, MapType
+from repro.ebpf.stress import make_stress_program
+from repro.errors import ReproError, SandboxCrash, SecurityError
+
+
+class TestFaultInjector:
+    def _linked(self, testbed, program):
+        entry = testbed.sim.run_process(
+            testbed.control.prepare_for(testbed.codeflow, program)
+        )
+        return testbed.codeflow.linker.link(entry.binary)[0]
+
+    def test_torn_write_detected(self, testbed):
+        program = make_stress_program(500, seed=1)
+        linked = self._linked(testbed, program)
+        injector = FaultInjector(testbed.codeflow)
+        injector.arm(FaultKind.TORN_WRITE)
+        testbed.sim.run_process(
+            injector.deploy_with_faults(program, linked, "ingress")
+        )
+        with pytest.raises(SandboxCrash):
+            testbed.sandbox.run_hook("ingress", bytes(256))
+        assert injector.injected[0].kind is FaultKind.TORN_WRITE
+
+    def test_bit_flip_detected(self, testbed):
+        program = make_stress_program(500, seed=1)
+        linked = self._linked(testbed, program)
+        injector = FaultInjector(testbed.codeflow, seed=7)
+        injector.arm(FaultKind.BIT_FLIP)
+        testbed.sim.run_process(
+            injector.deploy_with_faults(program, linked, "ingress")
+        )
+        with pytest.raises(SandboxCrash):
+            testbed.sandbox.run_hook("ingress", bytes(256))
+
+    def test_clean_deploy_without_armed_fault(self, testbed):
+        program = make_stress_program(500, seed=1)
+        linked = self._linked(testbed, program)
+        injector = FaultInjector(testbed.codeflow)
+        testbed.sim.run_process(
+            injector.deploy_with_faults(program, linked, "ingress")
+        )
+        result, _ = testbed.sandbox.run_hook("ingress", bytes(256))
+        assert result is not None
+        assert injector.injected == []
+
+    def test_dropped_flush_leaves_stale_view(self, testbed):
+        addr = testbed.codeflow.manifest.scratchpad_addr
+        testbed.host.cache.cpu_read(addr, 8)  # cache the line
+        injector = FaultInjector(testbed.codeflow)
+        injector.arm(FaultKind.DROPPED_FLUSH)
+
+        def flow():
+            yield from testbed.codeflow.sync.write(addr, b"FRESHDAT")
+            yield from injector.cc_event(addr, 8)
+
+        testbed.sim.run_process(flow())
+        # The flush was dropped, so the CPU still sees stale bytes.
+        assert testbed.host.cache.cpu_read(addr, 8) == bytes(8)
+
+    def test_stale_read_fault(self, testbed):
+        addr = testbed.codeflow.manifest.scratchpad_addr
+        testbed.host.memory.write(addr, b"REALDATA")
+        injector = FaultInjector(testbed.codeflow)
+        injector.arm(FaultKind.STALE_READ)
+
+        def flow():
+            data = yield from injector.read(addr, 8)
+            return data
+
+        assert testbed.sim.run_process(flow()) == bytes(8)
+
+    def test_double_arm_rejected(self, testbed):
+        injector = FaultInjector(testbed.codeflow)
+        injector.arm(FaultKind.BIT_FLIP)
+        with pytest.raises(ReproError):
+            injector.arm(FaultKind.TORN_WRITE)
+
+    def test_crash_campaign_detects_every_fault(self, testbed):
+        program = make_stress_program(500, seed=5)
+        injected, detected = crash_campaign(testbed, program, rounds=6)
+        assert injected == 6
+        assert detected == 6  # CRC catches all payload corruption
+
+
+class TestControlLoop:
+    @pytest.fixture
+    def loop_rig(self, testbed):
+        spec = XStateSpec("lb_counters", MapType.HASH, 4, 8, 8)
+        handle = testbed.sim.run_process(testbed.codeflow.deploy_xstate(spec))
+        guard = make_stress_program(100, seed=9, name="guard")
+        policy = ThresholdPolicy(
+            counter_key=(1).to_bytes(4, "little"),
+            high=100,
+            low=10,
+            guard_program=guard,
+            hook_name="egress",
+        )
+        loop = ControlLoop(testbed.codeflow, handle, policy, interval_us=500)
+        return testbed, handle, loop
+
+    def _set_counter(self, testbed, handle, value):
+        testbed.sim.run_process(
+            testbed.codeflow.xstate_update(
+                handle, (1).to_bytes(4, "little"), value.to_bytes(8, "little")
+            )
+        )
+
+    def test_deploys_guard_above_threshold(self, loop_rig):
+        testbed, handle, loop = loop_rig
+        self._set_counter(testbed, handle, 500)
+        observation = testbed.sim.run_process(loop.run_once())
+        assert observation.action == "deploy"
+        result, _ = testbed.sandbox.run_hook("egress", bytes(256))
+        assert result is not None
+
+    def test_no_action_in_band(self, loop_rig):
+        testbed, handle, loop = loop_rig
+        self._set_counter(testbed, handle, 50)
+        observation = testbed.sim.run_process(loop.run_once())
+        assert observation.action == "none"
+
+    def test_retires_guard_on_recovery(self, loop_rig):
+        testbed, handle, loop = loop_rig
+        self._set_counter(testbed, handle, 500)
+        testbed.sim.run_process(loop.run_once())
+        self._set_counter(testbed, handle, 5)
+        observation = testbed.sim.run_process(loop.run_once())
+        assert observation.action == "retire"
+        result, _ = testbed.sandbox.run_hook("egress", bytes(256))
+        assert result is None
+
+    def test_hysteresis_prevents_flapping(self, loop_rig):
+        testbed, handle, loop = loop_rig
+        self._set_counter(testbed, handle, 500)
+        testbed.sim.run_process(loop.run_once())
+        self._set_counter(testbed, handle, 50)  # between low and high
+        observation = testbed.sim.run_process(loop.run_once())
+        assert observation.action == "none"  # still deployed
+
+    def test_background_loop_reacts(self, loop_rig):
+        testbed, handle, loop = loop_rig
+        loop.start(duration_us=20_000)
+        testbed.sim.run(until=2_000)
+        self._set_counter(testbed, handle, 900)
+        testbed.sim.run(until=10_000)
+        loop.stop()
+        testbed.sim.run()
+        assert ("deploy" in {action for _t, action in loop.actions()})
+        latency = loop.reaction_latency_us()
+        assert latency is not None and latency <= 2 * loop.interval_us
+
+    def test_bad_hysteresis(self):
+        with pytest.raises(ReproError):
+            ThresholdPolicy(
+                counter_key=b"\x00" * 4, high=5, low=10,
+                guard_program=None, hook_name="h",
+            )
+
+
+class TestQos:
+    @pytest.fixture
+    def scheduler(self, testbed):
+        scheduler = QosScheduler(testbed.control)
+        scheduler.register_tenant(
+            TenantQuota("bulk", rate_bytes_per_s=2e6, burst_bytes=20_000,
+                        priority=5)
+        )
+        scheduler.register_tenant(
+            TenantQuota("urgent", rate_bytes_per_s=1e9, burst_bytes=1e6,
+                        priority=0)
+        )
+        return testbed, scheduler
+
+    def test_deploy_within_burst_unthrottled(self, scheduler):
+        testbed, qos = scheduler
+        program = make_stress_program(100, seed=1)  # 800 bytes
+        report = testbed.sim.run_process(
+            qos.inject("bulk", testbed.codeflow, program, "ingress")
+        )
+        assert report.total_us > 0
+        assert qos.usage["bulk"].throttled_us == 0
+
+    def test_rate_limit_throttles_bulk(self, scheduler):
+        testbed, qos = scheduler
+        program = make_stress_program(4_000, seed=1)  # 32 KB > burst
+
+        def flood():
+            for _ in range(3):
+                yield from qos.inject(
+                    "bulk", testbed.codeflow, program, "ingress",
+                    retain_history=False,
+                )
+
+        testbed.sim.run_process(flood())
+        assert qos.usage["bulk"].throttled_us > 0
+        assert qos.usage["bulk"].deploys == 3
+
+    def test_unknown_tenant_rejected(self, scheduler):
+        testbed, qos = scheduler
+        program = make_stress_program(100, seed=1)
+        process = testbed.sim.spawn(
+            qos.inject("ghost", testbed.codeflow, program, "ingress")
+        )
+        testbed.sim.run()
+        with pytest.raises(SecurityError):
+            _ = process.value
+
+    def test_duplicate_tenant_rejected(self, scheduler):
+        _testbed, qos = scheduler
+        with pytest.raises(SecurityError):
+            qos.register_tenant(
+                TenantQuota("bulk", rate_bytes_per_s=1, burst_bytes=1)
+            )
+
+    def test_priority_lane_overtakes_bulk(self, testbed2):
+        bed = testbed2
+        qos = QosScheduler(bed.control)
+        qos.register_tenant(
+            TenantQuota("bulk", rate_bytes_per_s=1e9, burst_bytes=1e9,
+                        priority=5)
+        )
+        qos.register_tenant(
+            TenantQuota("urgent", rate_bytes_per_s=1e9, burst_bytes=1e9,
+                        priority=0)
+        )
+        bulk_prog = make_stress_program(40_000, seed=1, name="bulk1")
+        bulk_prog2 = make_stress_program(40_000, seed=2, name="bulk2")
+        urgent_prog = make_stress_program(100, seed=3, name="hotfix")
+        done_order = []
+
+        def tenant_flow(tenant, flow, program, hook):
+            yield from qos.inject(tenant, flow, program, hook)
+            done_order.append(program.name)
+
+        # Two bulk deploys queue up; an urgent hotfix arrives after.
+        bed.sim.spawn(tenant_flow("bulk", bed.codeflows[0], bulk_prog, "ingress"))
+        bed.sim.spawn(tenant_flow("bulk", bed.codeflows[0], bulk_prog2, "egress"))
+
+        def late_urgent():
+            yield bed.sim.timeout(5.0)
+            yield from tenant_flow(
+                "urgent", bed.codeflows[1], urgent_prog, "ingress"
+            )
+
+        bed.sim.spawn(late_urgent())
+        bed.sim.run()
+        # The hotfix must not wait behind the second bulk deploy.
+        assert done_order.index("hotfix") < done_order.index("bulk2")
+        report = qos.tenant_report()
+        assert report["urgent"].deploys == 1
+        assert report["bulk"].deploys == 2

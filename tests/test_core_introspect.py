@@ -1,0 +1,138 @@
+"""Tests for remote memory introspection (§5 integrity)."""
+
+import pytest
+
+from repro.core.introspect import RemoteIntrospector, continuous_audit
+from repro.core.xstate import XStateSpec
+from repro.ebpf.maps import MapType
+from repro.ebpf.stress import make_stress_program
+
+
+@pytest.fixture
+def audited(testbed):
+    program = make_stress_program(300, seed=1, name="ext")
+    testbed.sim.run_process(
+        testbed.control.inject(testbed.codeflow, program, "ingress")
+    )
+    testbed.sim.run_process(
+        testbed.codeflow.deploy_xstate(
+            XStateSpec("kv", MapType.HASH, 4, 8, 8)
+        )
+    )
+    introspector = RemoteIntrospector(testbed.codeflow)
+    introspector.snapshot_deployed()
+    return testbed, introspector
+
+
+class TestCleanAudit:
+    def test_clean_target_passes(self, audited):
+        testbed, introspector = audited
+        report = testbed.sim.run_process(introspector.audit())
+        assert report.clean
+        assert report.bytes_read > 0
+        assert report.duration_us > 0
+
+    def test_audit_uses_no_target_cpu(self, audited):
+        testbed, introspector = audited
+        before = testbed.host.cpu.busy_us
+        testbed.sim.run_process(introspector.audit())
+        assert testbed.host.cpu.busy_us == before
+
+
+class TestTamperDetection:
+    def test_code_tamper_detected(self, audited):
+        testbed, introspector = audited
+        record = testbed.codeflow.deployed["ext"]
+        raw = testbed.host.memory.read(record.code_addr + 20, 1)
+        testbed.host.memory.write(record.code_addr + 20, bytes([raw[0] ^ 0xFF]))
+        report = testbed.sim.run_process(introspector.audit())
+        assert any(f.plane == "code" for f in report.critical)
+
+    def test_recrc_tamper_still_detected_by_hash(self, audited):
+        """An attacker who fixes up the CRC is still caught by the
+        shipped-binary hash."""
+        import zlib
+
+        testbed, introspector = audited
+        record = testbed.codeflow.deployed["ext"]
+        image = bytearray(
+            testbed.host.memory.read(record.code_addr, record.code_len)
+        )
+        image[15] ^= 0x01
+        # Recompute slot checksum + image CRC like a careful attacker.
+        slot_start = 8 + ((15 - 8) // 10) * 10
+        image[slot_start + 9] = sum(image[slot_start : slot_start + 9]) & 0xFF
+        body = bytes(image[:-4])
+        image[-4:] = (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+        testbed.host.memory.write(record.code_addr, bytes(image))
+        report = testbed.sim.run_process(introspector.audit())
+        assert any(
+            "hash differs" in f.detail for f in report.critical
+        )
+
+    def test_hook_hijack_detected(self, audited):
+        testbed, introspector = audited
+        rogue_addr = testbed.codeflow.manifest.code_addr + 0x4000
+        from repro.mem.layout import pack_qword
+
+        testbed.host.memory.write(
+            testbed.sandbox.hook_table.slot_addr("egress"),
+            pack_qword(rogue_addr),
+        )
+        report = testbed.sim.run_process(introspector.audit())
+        assert any(f.plane == "hook" for f in report.critical)
+
+    def test_metadata_tamper_detected(self, audited):
+        testbed, introspector = audited
+        record = testbed.codeflow.deployed["ext"]
+        slot_addr = (
+            testbed.codeflow.manifest.metadata_addr
+            + record.metadata_slot * 256
+        )
+        # Overwrite the descriptor's code_addr field (offset 16).
+        testbed.host.memory.write(slot_addr + 16, (0xBAD0).to_bytes(8, "little"))
+        report = testbed.sim.run_process(introspector.audit())
+        assert any(f.plane == "metadata" for f in report.critical)
+
+    def test_xstate_header_tamper_detected(self, audited):
+        testbed, introspector = audited
+        handle = testbed.codeflow.scratchpad.by_name("kv")
+        testbed.host.memory.write(handle.header_addr, b"\x00")  # kill magic
+        report = testbed.sim.run_process(introspector.audit())
+        assert any(f.plane == "xstate" for f in report.critical)
+
+    def test_xstate_meta_redirect_detected(self, audited):
+        testbed, introspector = audited
+        handle = testbed.codeflow.scratchpad.by_name("kv")
+        meta_addr = testbed.codeflow.scratchpad.meta_entry_addr(
+            handle.meta_index
+        )
+        testbed.host.memory.write(meta_addr, (0xDEAD000).to_bytes(8, "little"))
+        report = testbed.sim.run_process(introspector.audit())
+        assert any(
+            f.plane == "xstate" and "meta entry" in f.detail
+            for f in report.critical
+        )
+
+
+class TestContinuousAudit:
+    def test_loop_stops_on_critical(self, audited):
+        testbed, introspector = audited
+
+        def tamper_later():
+            yield testbed.sim.timeout(25_000)
+            record = testbed.codeflow.deployed["ext"]
+            raw = testbed.host.memory.read(record.code_addr + 30, 1)
+            testbed.host.memory.write(
+                record.code_addr + 30, bytes([raw[0] ^ 0x10])
+            )
+
+        testbed.sim.spawn(tamper_later())
+        reports = testbed.sim.run_process(
+            continuous_audit(introspector, interval_us=10_000,
+                             duration_us=200_000)
+        )
+        assert reports[-1].critical  # loop ended on the detection
+        assert all(r.clean for r in reports[:-1])
+        # It stopped early rather than auditing the full duration.
+        assert len(reports) < 20

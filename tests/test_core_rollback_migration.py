@@ -1,0 +1,157 @@
+"""Rollback, hot-patch, and live-migration tests (§4)."""
+
+import pytest
+
+from repro.core.migration import MigrationManager
+from repro.core.rollback import RollbackManager
+from repro.core.xstate import XStateSpec
+from repro.ebpf.interpreter import Interpreter
+from repro.ebpf.maps import BpfMap, MapType
+from repro.ebpf.stress import make_stress_program
+from repro.errors import DeployError
+
+
+def inject(bed, codeflow, program, hook="ingress"):
+    return bed.sim.run_process(bed.control.inject(codeflow, program, hook))
+
+
+class TestRollback:
+    def test_rollback_restores_previous_logic(self, testbed):
+        stable = make_stress_program(100, seed=1, name="ext")
+        faulty = make_stress_program(100, seed=2, name="ext")
+        inject(testbed, testbed.codeflow, stable)
+        inject(testbed, testbed.codeflow, faulty)
+        manager = RollbackManager(testbed.codeflow)
+        record = testbed.sim.run_process(manager.rollback("ext"))
+        ctx = bytes(range(256))
+        result, _ = testbed.sandbox.run_hook("ingress", ctx)
+        assert result.r0 == Interpreter().run(stable.insns, ctx).r0
+        assert record.duration_us < 50  # microseconds, not milliseconds
+
+    def test_rollback_without_history(self, testbed):
+        program = make_stress_program(100, seed=1, name="solo")
+        inject(testbed, testbed.codeflow, program)
+        manager = RollbackManager(testbed.codeflow)
+        process = testbed.sim.spawn(manager.rollback("solo"))
+        testbed.sim.run()
+        with pytest.raises(DeployError, match="no previous version"):
+            _ = process.value
+
+    def test_rollback_unknown_program(self, testbed):
+        manager = RollbackManager(testbed.codeflow)
+        process = testbed.sim.spawn(manager.rollback("ghost"))
+        testbed.sim.run()
+        with pytest.raises(DeployError):
+            _ = process.value
+
+    def test_repeated_rollback_walks_history(self, testbed):
+        v1 = make_stress_program(100, seed=1, name="ext")
+        v2 = make_stress_program(100, seed=2, name="ext")
+        v3 = make_stress_program(100, seed=3, name="ext")
+        for version in (v1, v2, v3):
+            inject(testbed, testbed.codeflow, version)
+        manager = RollbackManager(testbed.codeflow)
+        testbed.sim.run_process(manager.rollback("ext"))  # -> v2
+        testbed.sim.run_process(manager.rollback("ext"))  # -> v1
+        ctx = bytes(range(256))
+        result, _ = testbed.sandbox.run_hook("ingress", ctx)
+        assert result.r0 == Interpreter().run(v1.insns, ctx).r0
+
+    def test_audit_log(self, testbed):
+        stable = make_stress_program(100, seed=1, name="ext")
+        faulty = make_stress_program(100, seed=2, name="ext")
+        inject(testbed, testbed.codeflow, stable)
+        inject(testbed, testbed.codeflow, faulty)
+        manager = RollbackManager(testbed.codeflow)
+        testbed.sim.run_process(manager.rollback("ext"))
+        assert len(manager.audit_log) == 1
+        assert manager.audit_log[0].target == testbed.sandbox.name
+
+    def test_hot_patch_deploys_fix(self, testbed):
+        buggy = make_stress_program(100, seed=4, name="svc_ext")
+        fixed = make_stress_program(100, seed=5, name="svc_ext")
+        inject(testbed, testbed.codeflow, buggy)
+        manager = RollbackManager(testbed.codeflow)
+        testbed.sim.run_process(manager.hot_patch(fixed))
+        ctx = bytes(range(256))
+        result, _ = testbed.sandbox.run_hook("ingress", ctx)
+        assert result.r0 == Interpreter().run(fixed.insns, ctx).r0
+
+    def test_hot_patch_needs_hook(self, testbed):
+        manager = RollbackManager(testbed.codeflow)
+        fresh = make_stress_program(100, seed=6, name="brand_new")
+        process = testbed.sim.spawn(manager.hot_patch(fresh))
+        testbed.sim.run()
+        with pytest.raises(DeployError, match="no hook known"):
+            _ = process.value
+
+
+class TestMigration:
+    def test_migrate_code(self, testbed2):
+        bed = testbed2
+        program = make_stress_program(100, seed=1, name="mig")
+        inject(bed, bed.codeflows[0], program)
+        manager = MigrationManager(bed.control)
+        report = bed.sim.run_process(
+            manager.migrate(bed.codeflows[0], bed.codeflows[1], "mig")
+        )
+        ctx = bytes(range(256))
+        src_result, _ = bed.sandboxes[0].run_hook("ingress", ctx)
+        dst_result, _ = bed.sandboxes[1].run_hook("ingress", ctx)
+        assert src_result.r0 == dst_result.r0
+        assert report.total_us < 1_000  # microsecond-scale
+
+    def test_migrate_with_xstate(self, testbed2):
+        bed = testbed2
+        spec = XStateSpec("stress_map", MapType.ARRAY, 4, 8, 4)
+        initial = BpfMap(MapType.ARRAY, 4, 8, 4, name="stress_map")
+        initial.update((0).to_bytes(4, "little"), (42).to_bytes(8, "little"))
+        src_handle = bed.sim.run_process(
+            bed.codeflows[0].deploy_xstate(spec, initial=initial)
+        )
+        program = make_stress_program(100, seed=1, with_map=True, name="mig")
+        inject(bed, bed.codeflows[0], program)
+
+        # Mutate live state on the source before migrating.
+        def mutate():
+            yield from bed.codeflows[0].xstate_update(
+                src_handle, (0).to_bytes(4, "little"), (777).to_bytes(8, "little")
+            )
+
+        bed.sim.run_process(mutate())
+
+        manager = MigrationManager(bed.control)
+        report = bed.sim.run_process(
+            manager.migrate(
+                bed.codeflows[0], bed.codeflows[1], "mig", xstate=src_handle
+            )
+        )
+        assert report.xstate_bytes > 0
+        # Destination runs with the *migrated* state value.
+        ctx = bytes(256)
+        dst_result, _ = bed.sandboxes[1].run_hook("ingress", ctx)
+        template = BpfMap(MapType.ARRAY, 4, 8, 4, name="stress_map")
+        template.update((0).to_bytes(4, "little"), (777).to_bytes(8, "little"))
+        expected = Interpreter(maps=[template]).run(program.insns, ctx).r0
+        assert dst_result.r0 == expected
+
+    def test_migrate_unknown_program(self, testbed2):
+        bed = testbed2
+        manager = MigrationManager(bed.control)
+        process = bed.sim.spawn(
+            manager.migrate(bed.codeflows[0], bed.codeflows[1], "ghost")
+        )
+        bed.sim.run()
+        with pytest.raises(DeployError):
+            _ = process.value
+
+    def test_migration_reuses_compile_cache(self, testbed2):
+        bed = testbed2
+        program = make_stress_program(100, seed=1, name="mig")
+        inject(bed, bed.codeflows[0], program)
+        compiles_before = bed.control.compiles_run
+        manager = MigrationManager(bed.control)
+        bed.sim.run_process(
+            manager.migrate(bed.codeflows[0], bed.codeflows[1], "mig")
+        )
+        assert bed.control.compiles_run == compiles_before  # cache hit

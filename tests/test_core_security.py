@@ -1,0 +1,136 @@
+"""Security model tests: RBAC, signatures, runtime limits (§5)."""
+
+import pytest
+
+from repro.core.security import Principal, Role, SecurityPolicy
+from repro.ebpf.stress import make_stress_program
+from repro.errors import SecurityError
+
+
+@pytest.fixture
+def policy():
+    return SecurityPolicy(require_principal=True)
+
+
+OBSERVER = Principal("alice", Role.OBSERVER)
+OPERATOR = Principal("bob", Role.OPERATOR)
+ADMIN = Principal("carol", Role.ADMIN)
+
+
+class TestRbac:
+    def test_anonymous_rejected_when_required(self, policy):
+        with pytest.raises(SecurityError, match="authentication"):
+            policy.check(None, "deploy")
+
+    def test_anonymous_allowed_when_permissive(self):
+        SecurityPolicy.permissive().check(None, "deploy")
+
+    @pytest.mark.parametrize(
+        "principal,operation,allowed",
+        [
+            (OBSERVER, "inspect", True),
+            (OBSERVER, "xstate_read", True),
+            (OBSERVER, "deploy", False),
+            (OBSERVER, "rollback", False),
+            (OPERATOR, "deploy", True),
+            (OPERATOR, "broadcast", True),
+            (OPERATOR, "create_codeflow", False),
+            (OPERATOR, "teardown", False),
+            (ADMIN, "create_codeflow", True),
+            (ADMIN, "teardown", True),
+            (ADMIN, "migrate", True),
+        ],
+    )
+    def test_role_matrix(self, policy, principal, operation, allowed):
+        if allowed:
+            policy.check(principal, operation)
+        else:
+            with pytest.raises(SecurityError):
+                policy.check(principal, operation)
+
+    def test_target_scoping(self, policy):
+        scoped = Principal("dave", Role.OPERATOR, target_scope=("node0",))
+        policy.check(scoped, "deploy", "node0")
+        with pytest.raises(SecurityError, match="not scoped"):
+            policy.check(scoped, "deploy", "node1")
+
+    def test_unscoped_reaches_all(self, policy):
+        policy.check(OPERATOR, "deploy", "any-node")
+
+
+class TestSignatures:
+    def test_sign_and_verify(self):
+        policy = SecurityPolicy.strict(signing_key=b"secret")
+        program = make_stress_program(100, seed=1)
+        policy.sign_program(program)
+        policy.verify_signature(program)  # no raise
+
+    def test_unsigned_rejected(self):
+        policy = SecurityPolicy.strict(signing_key=b"secret")
+        program = make_stress_program(100, seed=1)
+        with pytest.raises(SecurityError, match="signature"):
+            policy.verify_signature(program)
+
+    def test_tampered_program_rejected(self):
+        policy = SecurityPolicy.strict(signing_key=b"secret")
+        program = make_stress_program(100, seed=1)
+        policy.sign_program(program)
+        tampered = make_stress_program(100, seed=2)
+        with pytest.raises(SecurityError):
+            policy.verify_signature(tampered)
+
+    def test_no_key_means_no_check(self):
+        SecurityPolicy.permissive().verify_signature(
+            make_stress_program(100, seed=1)
+        )
+
+    def test_signing_requires_key(self):
+        with pytest.raises(SecurityError, match="no signing key"):
+            SecurityPolicy.permissive().sign_program(
+                make_stress_program(100, seed=1)
+            )
+
+
+class TestLimits:
+    def test_instruction_limit(self):
+        policy = SecurityPolicy(max_insns=50)
+        with pytest.raises(SecurityError, match="instruction limit"):
+            policy.check_program_limits(make_stress_program(100, seed=1))
+
+    def test_within_limit_passes(self):
+        SecurityPolicy(max_insns=1000).check_program_limits(
+            make_stress_program(100, seed=1)
+        )
+
+    def test_map_limit(self):
+        policy = SecurityPolicy(max_maps=0)
+        with pytest.raises(SecurityError, match="too many maps"):
+            policy.check_program_limits(
+                make_stress_program(100, seed=1, with_map=True)
+            )
+
+
+class TestControlPlaneIntegration:
+    def test_strict_control_plane_rejects_operator_teardown(self, testbed):
+        testbed.control.policy = SecurityPolicy(require_principal=True)
+        program = make_stress_program(100, seed=1)
+
+        def flow():
+            yield from testbed.control.inject(
+                testbed.codeflow, program, "ingress", principal=OBSERVER
+            )
+
+        process = testbed.sim.spawn(flow())
+        testbed.sim.run()
+        with pytest.raises(SecurityError):
+            _ = process.value
+
+    def test_operator_can_deploy(self, testbed):
+        testbed.control.policy = SecurityPolicy(require_principal=True)
+        program = make_stress_program(100, seed=1)
+        report = testbed.sim.run_process(
+            testbed.control.inject(
+                testbed.codeflow, program, "ingress", principal=OPERATOR
+            )
+        )
+        assert report.total_us > 0

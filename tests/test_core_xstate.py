@@ -1,0 +1,144 @@
+"""XState header codec + remote scratchpad allocator tests (§3.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import params
+from repro.core.xstate import (
+    RemoteScratchpad,
+    XStateSpec,
+    decode_xstate_header,
+    encode_xstate_header,
+)
+from repro.ebpf.maps import MapType
+from repro.errors import XStateError
+
+
+def spec(name="s", map_type=MapType.HASH, key=4, value=8, entries=16):
+    return XStateSpec(name, map_type, key, value, entries)
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        header = encode_xstate_header(spec(), version=3)
+        assert len(header) == params.XSTATE_HEADER_BYTES
+        decoded = decode_xstate_header(header)
+        assert decoded.map_type is MapType.HASH
+        assert decoded.key_size == 4
+        assert decoded.value_size == 8
+        assert decoded.max_entries == 16
+        assert decoded.version == 3
+
+    def test_bad_magic_returns_none(self):
+        header = bytearray(encode_xstate_header(spec()))
+        header[0] = 0x00
+        assert decode_xstate_header(bytes(header)) is None
+
+    def test_bad_type_returns_none(self):
+        header = bytearray(encode_xstate_header(spec()))
+        header[1] = 0x7F
+        assert decode_xstate_header(bytes(header)) is None
+
+    def test_short_buffer_returns_none(self):
+        assert decode_xstate_header(b"\xa5\x01") is None
+
+    @given(
+        st.sampled_from(list(MapType)),
+        st.integers(1, 64),
+        st.integers(1, 256),
+        st.integers(1, 10_000),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, map_type, key, value, entries):
+        s = XStateSpec("p", map_type, key, value, entries)
+        decoded = decode_xstate_header(encode_xstate_header(s))
+        assert (decoded.map_type, decoded.key_size, decoded.value_size,
+                decoded.max_entries) == (map_type, key, value, entries)
+
+
+class TestSpecSizing:
+    def test_data_bytes(self):
+        s = spec(key=4, value=8, entries=10)
+        assert s.slot_bytes() == 8 + 4 + 8
+        assert s.data_bytes() == 20 * 10
+        assert s.total_bytes() == s.data_bytes() + params.XSTATE_HEADER_BYTES
+
+
+class TestRemoteScratchpad:
+    def make(self, size=1 << 20, meta_slots=16):
+        return RemoteScratchpad(0x10000, size, meta_slots=meta_slots)
+
+    def test_allocate_assigns_meta_and_chunk(self):
+        pad = self.make()
+        handle = pad.allocate(spec())
+        assert handle.meta_index == 0
+        assert handle.data_addr == handle.header_addr + params.XSTATE_HEADER_BYTES
+        assert pad.by_name("s") is handle
+        assert pad.live_count == 1
+
+    def test_heap_starts_after_meta_index(self):
+        pad = self.make(meta_slots=16)
+        handle = pad.allocate(spec())
+        assert handle.header_addr >= 0x10000 + 16 * 8
+
+    def test_duplicate_name(self):
+        pad = self.make()
+        pad.allocate(spec())
+        with pytest.raises(XStateError, match="already"):
+            pad.allocate(spec())
+
+    def test_meta_slots_exhaust(self):
+        pad = self.make(meta_slots=2)
+        pad.allocate(spec(name="a"))
+        pad.allocate(spec(name="b"))
+        with pytest.raises(XStateError, match="full"):
+            pad.allocate(spec(name="c"))
+
+    def test_release_recycles(self):
+        pad = self.make(meta_slots=1)
+        handle = pad.allocate(spec(name="a"))
+        pad.release(handle)
+        assert pad.live_count == 0
+        pad.allocate(spec(name="a"))  # both slot and name reusable
+
+    def test_release_unknown(self):
+        pad = self.make()
+        handle = pad.allocate(spec())
+        pad.release(handle)
+        with pytest.raises(XStateError):
+            pad.release(handle)
+
+    def test_too_small_scratchpad(self):
+        with pytest.raises(XStateError):
+            RemoteScratchpad(0, 64, meta_slots=4096)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 16),  # key size
+                st.integers(1, 64),  # value size
+                st.integers(1, 64),  # entries
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40)
+    def test_allocations_never_overlap(self, geometries):
+        pad = self.make(size=4 << 20, meta_slots=64)
+        handles = []
+        for index, (key, value, entries) in enumerate(geometries):
+            try:
+                handles.append(
+                    pad.allocate(spec(name=f"x{index}", key=key, value=value,
+                                      entries=entries))
+                )
+            except XStateError:
+                break
+        spans = sorted(
+            (h.header_addr, h.header_addr + h.spec.total_bytes()) for h in handles
+        )
+        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+        meta_indices = [h.meta_index for h in handles]
+        assert len(set(meta_indices)) == len(meta_indices)

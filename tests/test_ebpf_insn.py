@@ -1,0 +1,69 @@
+"""Instruction encode/decode tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.ebpf import opcodes as op
+from repro.ebpf.insn import Insn, decode_program, encode_program, lddw_pair
+
+
+class TestEncoding:
+    def test_eight_bytes(self):
+        insn = Insn(op.BPF_ALU64 | op.BPF_MOV | op.BPF_K, dst=1, imm=42)
+        assert len(insn.encode()) == 8
+
+    def test_roundtrip_simple(self):
+        insn = Insn(op.BPF_JMP | op.BPF_JEQ | op.BPF_K, dst=3, src=0, off=-2, imm=7)
+        assert Insn.decode(insn.encode()) == insn
+
+    @given(
+        st.integers(0, 255),
+        st.integers(0, 10),
+        st.integers(0, 15),
+        st.integers(-(2**15), 2**15 - 1),
+        st.integers(-(2**31), 2**31 - 1),
+    )
+    def test_roundtrip_property(self, opcode, dst, src, off, imm):
+        insn = Insn(opcode=opcode, dst=dst, src=src, off=off, imm=imm)
+        assert Insn.decode(insn.encode()) == insn
+
+    def test_negative_imm_roundtrip(self):
+        insn = Insn(op.BPF_ALU64 | op.BPF_ADD | op.BPF_K, dst=0, imm=-1)
+        assert Insn.decode(insn.encode()).imm == -1
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(ReproError):
+            Insn(opcode=0, dst=11)
+
+    def test_bad_offset_rejected(self):
+        with pytest.raises(ReproError):
+            Insn(opcode=0, off=2**15)
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(ReproError):
+            Insn.decode(b"short")
+
+
+class TestProgramImage:
+    def test_encode_decode_program(self):
+        insns = [
+            Insn(op.BPF_ALU64 | op.BPF_MOV | op.BPF_K, dst=0, imm=1),
+            Insn(op.BPF_JMP | op.BPF_EXIT),
+        ]
+        assert decode_program(encode_program(insns)) == insns
+
+    def test_decode_misaligned_image(self):
+        with pytest.raises(ReproError):
+            decode_program(b"123456789")
+
+    def test_lddw_pair_splits_imm64(self):
+        pair = lddw_pair(dst=2, imm64=0x1122334455667788)
+        assert pair[0].opcode == op.LDDW
+        assert pair[0].imm == 0x55667788
+        assert pair[1].imm == 0x11223344
+
+    def test_lddw_pair_map_fd(self):
+        pair = lddw_pair(dst=1, imm64=3, src=op.PSEUDO_MAP_FD)
+        assert pair[0].src == op.PSEUDO_MAP_FD
+        assert pair[0].imm == 3

@@ -1,0 +1,64 @@
+"""Tests for the BPF-selftest-style stress program generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ebpf.interpreter import Interpreter
+from repro.ebpf.maps import BpfMap, MapType
+from repro.ebpf.stress import STRESS_SIZES, make_stress_program
+from repro.ebpf.verifier import MapGeometry, verify
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("size", [20, 100, 1300, 5000])
+    def test_exact_size(self, size):
+        assert len(make_stress_program(size).insns) == size
+
+    @pytest.mark.parametrize("size", [50, 1300])
+    def test_exact_size_with_map(self, size):
+        program = make_stress_program(size, with_map=True)
+        assert len(program.insns) == size
+        assert program.map_names == ("stress_map",)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ReproError):
+            make_stress_program(5)
+
+    def test_deterministic(self):
+        a = make_stress_program(500, seed=3)
+        b = make_stress_program(500, seed=3)
+        assert a.image() == b.image()
+
+    def test_seed_changes_program(self):
+        a = make_stress_program(500, seed=3)
+        b = make_stress_program(500, seed=4)
+        assert a.image() != b.image()
+
+    def test_paper_sizes_all_verify(self):
+        # The two smallest paper sizes (95K takes ~2s; covered in bench).
+        for size in STRESS_SIZES[:2]:
+            program = make_stress_program(size, with_map=True)
+            stats = verify(program, {0: MapGeometry(4, 8)})
+            # Verifier state pruning must hold exploration near-linear.
+            assert stats.states_visited < 2 * size
+
+    def test_executes_deterministically(self):
+        program = make_stress_program(1300, seed=5)
+        ctx = bytes(range(256))
+        first = Interpreter().run(program.insns, ctx).r0
+        second = Interpreter().run(program.insns, ctx).r0
+        assert first == second
+
+    def test_result_depends_on_packet(self):
+        program = make_stress_program(1300, seed=5)
+        a = Interpreter().run(program.insns, bytes(256)).r0
+        b = Interpreter().run(program.insns, bytes([1]) * 256).r0
+        assert a != b
+
+    def test_map_block_reads_map(self):
+        program = make_stress_program(100, seed=1, with_map=True)
+        bpf_map = BpfMap(MapType.ARRAY, 4, 8, 4, name="stress_map")
+        zero = Interpreter(maps=[bpf_map]).run(program.insns, bytes(256)).r0
+        bpf_map.update((0).to_bytes(4, "little"), (1 << 20).to_bytes(8, "little"))
+        nonzero = Interpreter(maps=[bpf_map]).run(program.insns, bytes(256)).r0
+        assert zero != nonzero

@@ -1,0 +1,156 @@
+"""Unit tests for the CPU cache / DMA incoherence model (Fig 5 substrate)."""
+
+import pytest
+
+from repro import params
+from repro.mem.cache import CacheModel
+from repro.mem.memory import PhysicalMemory
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    mem = PhysicalMemory(1 << 20)
+    cache = CacheModel(sim, mem, cpki=5.0, seed=42)
+    return sim, mem, cache
+
+
+class TestBasicCoherence:
+    def test_first_read_is_fresh(self, setup):
+        sim, mem, cache = setup
+        mem.write(mem.base, b"fresh-data")
+        assert cache.cpu_read(mem.base, 10) == b"fresh-data"
+
+    def test_cpu_write_is_write_through(self, setup):
+        sim, mem, cache = setup
+        cache.cpu_write(mem.base, b"written")
+        assert mem.read(mem.base, 7) == b"written"
+        assert cache.cpu_read(mem.base, 7) == b"written"
+
+    def test_dma_write_goes_stale_behind_cached_line(self, setup):
+        sim, mem, cache = setup
+        mem.write(mem.base, b"old-value")
+        cache.cpu_read(mem.base, 9)  # cache it
+        cache.dma_write(mem.base, b"new-value")
+        # DRAM has the new bytes; the CPU still sees the old ones.
+        assert mem.read(mem.base, 9) == b"new-value"
+        assert cache.cpu_read(mem.base, 9) == b"old-value"
+        assert cache.is_stale(mem.base)
+
+    def test_uncached_dma_write_visible_immediately(self, setup):
+        sim, mem, cache = setup
+        cache.dma_write(mem.base + 128, b"direct")
+        assert cache.cpu_read(mem.base + 128, 6) == b"direct"
+
+    def test_flush_restores_coherence(self, setup):
+        sim, mem, cache = setup
+        cache.cpu_read(mem.base, 8)
+        cache.dma_write(mem.base, b"12345678")
+        cache.flush(mem.base, 8)
+        assert cache.cpu_read(mem.base, 8) == b"12345678"
+        assert not cache.is_stale(mem.base)
+
+    def test_cpu_write_refreshes_stale_line(self, setup):
+        sim, mem, cache = setup
+        cache.cpu_read(mem.base, 8)
+        cache.dma_write(mem.base, b"AAAAAAAA")
+        # CPU store to the same line pulls the whole line fresh.
+        cache.cpu_write(mem.base + 8, b"B")
+        assert cache.cpu_read(mem.base, 8) == b"AAAAAAAA"
+
+    def test_dma_read_sees_dram(self, setup):
+        sim, mem, cache = setup
+        cache.cpu_write(mem.base, b"cpu-bytes")
+        assert cache.dma_read(mem.base, 9) == b"cpu-bytes"
+
+
+class TestEviction:
+    def test_eviction_ends_staleness(self, setup):
+        sim, mem, cache = setup
+        cache.cpu_read(mem.base, 8)
+        cache.dma_write(mem.base, b"newnewne")
+        # Advance far beyond any plausible eviction deadline.
+        sim.run(until=10_000_000)
+        assert cache.cpu_read(mem.base, 8) == b"newnewne"
+
+    def test_zero_cpki_never_evicts(self):
+        sim = Simulator()
+        mem = PhysicalMemory(1 << 16)
+        cache = CacheModel(sim, mem, cpki=0.0, seed=1)
+        cache.cpu_read(mem.base, 8)
+        cache.dma_write(mem.base, b"xxxxxxxx")
+        sim.run(until=100_000_000)
+        assert cache.cpu_read(mem.base, 8) == bytes(8)  # still stale
+
+    def test_higher_cpki_evicts_sooner(self):
+        def staleness_duration(cpki: float) -> float:
+            durations = []
+            for seed in range(40):
+                sim = Simulator()
+                mem = PhysicalMemory(1 << 16)
+                cache = CacheModel(sim, mem, cpki=cpki, seed=seed)
+                cache.cpu_read(mem.base, 8)
+                cache.dma_write(mem.base, b"zzzzzzzz")
+                while cache.cpu_read(mem.base, 8) != b"zzzzzzzz":
+                    sim.run(until=sim.now + 5)
+                durations.append(sim.now)
+            return sum(durations) / len(durations)
+
+        assert staleness_duration(40.0) < staleness_duration(5.0)
+
+    def test_cpki_validation(self, setup):
+        _sim, _mem, cache = setup
+        with pytest.raises(ValueError):
+            cache.cpki = -1
+
+
+class TestStats:
+    def test_hit_miss_counting(self, setup):
+        sim, mem, cache = setup
+        cache.cpu_read(mem.base, 8)  # miss
+        cache.cpu_read(mem.base, 8)  # hit
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert 0 < cache.stats.hit_rate < 1
+
+    def test_stale_hits_counted(self, setup):
+        sim, mem, cache = setup
+        cache.cpu_read(mem.base, 8)
+        cache.dma_write(mem.base, b"qqqqqqqq")
+        cache.cpu_read(mem.base, 8)
+        assert cache.stats.stale_hits >= 1
+
+    def test_flush_counted(self, setup):
+        sim, mem, cache = setup
+        cache.cpu_read(mem.base, 8)
+        cache.flush(mem.base, 8)
+        assert cache.stats.flushes == 1
+
+    def test_flush_all(self, setup):
+        sim, mem, cache = setup
+        cache.cpu_read(mem.base, 8)
+        cache.dma_write(mem.base, b"newbytes")
+        cache.flush_all()
+        assert cache.cpu_read(mem.base, 8) == b"newbytes"
+
+
+class TestMultiLine:
+    def test_read_spanning_lines(self, setup):
+        sim, mem, cache = setup
+        data = bytes(range(200))
+        mem.write(mem.base, data)
+        assert cache.cpu_read(mem.base, 200) == data
+
+    def test_partial_line_staleness(self, setup):
+        sim, mem, cache = setup
+        line = params.CACHE_LINE_BYTES
+        # Cache two lines; DMA only the second.
+        cache.cpu_read(mem.base, 2 * line)
+        cache.dma_write(mem.base + line, b"\xee" * line)
+        view = cache.cpu_read(mem.base, 2 * line)
+        assert view[:line] == bytes(line)
+        assert view[line:] == bytes(line)  # stale: still zeros
+        cache.flush(mem.base + line, line)
+        view = cache.cpu_read(mem.base, 2 * line)
+        assert view[line:] == b"\xee" * line

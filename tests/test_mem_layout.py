@@ -1,0 +1,38 @@
+"""Tests for fixed-width layout helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.layout import (
+    pack_qword,
+    pack_u32,
+    qword_at,
+    store_qword,
+    unpack_qword,
+    unpack_u32,
+)
+from repro.mem.memory import PhysicalMemory
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_qword_roundtrip(value):
+    assert unpack_qword(pack_qword(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_u32_roundtrip(value):
+    assert unpack_u32(pack_u32(value)) == value
+
+
+def test_qword_wraps_to_64_bits():
+    assert unpack_qword(pack_qword(1 << 64)) == 0
+
+
+def test_little_endian_layout():
+    assert pack_qword(1) == b"\x01" + bytes(7)
+    assert pack_u32(0x0102_0304) == b"\x04\x03\x02\x01"
+
+
+def test_memory_qword_helpers():
+    mem = PhysicalMemory(4096)
+    store_qword(mem, mem.base + 16, 0xDEADBEEF)
+    assert qword_at(mem, mem.base + 16) == 0xDEADBEEF

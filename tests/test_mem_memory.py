@@ -1,0 +1,208 @@
+"""Unit + property tests for sparse DRAM and the region allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryError_
+from repro.mem.memory import MemoryRegion, PhysicalMemory, RegionAllocator
+
+
+class TestMemoryRegion:
+    def test_contains(self):
+        region = MemoryRegion(addr=100, size=50)
+        assert region.contains(100)
+        assert region.contains(149)
+        assert region.contains(100, 50)
+        assert not region.contains(99)
+        assert not region.contains(149, 2)
+
+    def test_overlaps(self):
+        a = MemoryRegion(0, 10)
+        assert a.overlaps(MemoryRegion(5, 10))
+        assert not a.overlaps(MemoryRegion(10, 10))
+
+
+class TestPhysicalMemory:
+    def test_zero_initialized(self):
+        mem = PhysicalMemory(4096)
+        assert mem.read(mem.base, 64) == bytes(64)
+
+    def test_write_read_roundtrip(self):
+        mem = PhysicalMemory(4096)
+        mem.write(mem.base + 10, b"hello world")
+        assert mem.read(mem.base + 10, 11) == b"hello world"
+
+    def test_cross_page_write(self):
+        mem = PhysicalMemory(3 * PhysicalMemory.PAGE)
+        data = bytes(range(256)) * 40  # 10240 bytes, spans 3+ pages
+        mem.write(mem.base + 100, data)
+        assert mem.read(mem.base + 100, len(data)) == data
+
+    def test_sparse_residency(self):
+        mem = PhysicalMemory(1 << 30)  # 1 GiB virtual
+        assert mem.resident_pages == 0
+        mem.write(mem.base + (500 << 20), b"x")
+        assert mem.resident_pages == 1
+
+    def test_bounds_low(self):
+        mem = PhysicalMemory(4096)
+        with pytest.raises(MemoryError_):
+            mem.read(mem.base - 1, 1)
+
+    def test_bounds_high(self):
+        mem = PhysicalMemory(4096)
+        with pytest.raises(MemoryError_):
+            mem.write(mem.end - 1, b"ab")
+
+    def test_negative_length(self):
+        mem = PhysicalMemory(4096)
+        with pytest.raises(MemoryError_):
+            mem.read(mem.base, -1)
+
+    def test_zero_length_read(self):
+        mem = PhysicalMemory(4096)
+        assert mem.read(mem.base, 0) == b""
+
+    def test_fill_zero_drops_pages(self):
+        mem = PhysicalMemory(8 * PhysicalMemory.PAGE)
+        mem.write(mem.base, b"\xff" * (4 * PhysicalMemory.PAGE))
+        before = mem.resident_pages
+        mem.fill(mem.base, 4 * PhysicalMemory.PAGE, 0)
+        assert mem.read(mem.base, 16) == bytes(16)
+        assert mem.resident_pages < before
+
+    def test_fill_nonzero(self):
+        mem = PhysicalMemory(4096)
+        mem.fill(mem.base + 8, 16, 0xAB)
+        assert mem.read(mem.base + 8, 16) == b"\xab" * 16
+
+    def test_write_epoch_increments(self):
+        mem = PhysicalMemory(4096)
+        epoch = mem.write_epoch
+        mem.write(mem.base, b"x")
+        assert mem.write_epoch == epoch + 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30_000),
+                st.binary(min_size=1, max_size=400),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_matches_flat_model(self, writes):
+        """Sparse memory behaves exactly like one big bytearray."""
+        size = 32 << 10
+        mem = PhysicalMemory(size, base=0)
+        model = bytearray(size)
+        for offset, data in writes:
+            if offset + len(data) > size:
+                continue
+            mem.write(offset, data)
+            model[offset : offset + len(data)] = data
+        assert mem.read(0, size) == bytes(model)
+
+
+class TestRegionAllocator:
+    def test_alloc_returns_aligned(self):
+        alloc = RegionAllocator(0x1000, 1 << 16)
+        addr = alloc.alloc(100, align=64)
+        assert addr % 64 == 0
+
+    def test_alloc_disjoint(self):
+        alloc = RegionAllocator(0, 1 << 16)
+        regions = [(alloc.alloc(100), 100) for _ in range(20)]
+        for i, (a, asize) in enumerate(regions):
+            for b, bsize in regions[i + 1 :]:
+                assert a + asize <= b or b + bsize <= a
+
+    def test_free_and_reuse(self):
+        alloc = RegionAllocator(0, 1024)
+        first = alloc.alloc(512)
+        with pytest.raises(MemoryError_):
+            alloc.alloc(1024)
+        alloc.free(first)
+        assert alloc.alloc(1024) == 0
+
+    def test_coalescing(self):
+        alloc = RegionAllocator(0, 1024)
+        a = alloc.alloc(256)
+        b = alloc.alloc(256)
+        c = alloc.alloc(256)
+        alloc.free(a)
+        alloc.free(c)
+        alloc.free(b)  # middle free must merge all three
+        assert alloc.alloc(1024) == 0
+        del c
+
+    def test_double_free_rejected(self):
+        alloc = RegionAllocator(0, 1024)
+        addr = alloc.alloc(64)
+        alloc.free(addr)
+        with pytest.raises(MemoryError_):
+            alloc.free(addr)
+
+    def test_free_unknown_rejected(self):
+        alloc = RegionAllocator(0, 1024)
+        with pytest.raises(MemoryError_):
+            alloc.free(12345)
+
+    def test_out_of_space(self):
+        alloc = RegionAllocator(0, 128)
+        with pytest.raises(MemoryError_):
+            alloc.alloc(256)
+
+    def test_accounting(self):
+        alloc = RegionAllocator(0, 1024)
+        addr = alloc.alloc(100, align=1)
+        assert alloc.bytes_live == 100
+        assert alloc.bytes_free == 924
+        assert alloc.live_count == 1
+        assert alloc.size_of(addr) == 100
+        alloc.free(addr)
+        assert alloc.bytes_live == 0
+        assert alloc.bytes_free == 1024
+
+    def test_bad_alignment(self):
+        alloc = RegionAllocator(0, 1024)
+        with pytest.raises(ValueError):
+            alloc.alloc(10, align=3)
+
+    def test_bad_size(self):
+        alloc = RegionAllocator(0, 1024)
+        with pytest.raises(ValueError):
+            alloc.alloc(0)
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(1, 400)),
+                st.tuples(st.just("free"), st.integers(0, 30)),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_no_overlap_invariant(self, operations):
+        """Live allocations never overlap; free bytes are conserved."""
+        window = 8 << 10
+        alloc = RegionAllocator(0, window)
+        live: list[tuple[int, int]] = []
+        for op, arg in operations:
+            if op == "alloc":
+                try:
+                    addr = alloc.alloc(arg)
+                except MemoryError_:
+                    continue
+                live.append((addr, arg))
+            elif live:
+                addr, _size = live.pop(arg % len(live))
+                alloc.free(addr)
+        live.sort()
+        for (a, asize), (b, _bsize) in zip(live, live[1:]):
+            assert a + asize <= b
+        assert alloc.bytes_live == sum(size for _addr, size in live)
+        assert alloc.bytes_free + alloc.bytes_live <= window

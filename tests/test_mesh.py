@@ -1,0 +1,250 @@
+"""Service-mesh tests: proxies, app DAGs, workloads, consistency probe."""
+
+import pytest
+
+import networkx as nx
+
+from repro.agent.daemon import NodeAgent
+from repro.errors import WorkloadError
+from repro.mesh.apps import AppSpec, MicroserviceApp, PAPER_APPS, make_app_dag
+from repro.mesh.consistency import ConsistencyProbe
+from repro.mesh.proxy import SidecarProxy
+from repro.mesh.workload import OpenLoopLoad
+from repro.net.topology import Host
+from repro.sim.core import Simulator
+from repro.wasm.filters import make_header_filter, make_rate_limit_filter
+from repro.wasm.runtime import CONTINUE, DENY, RequestContext
+
+
+@pytest.fixture
+def app():
+    sim = Simulator()
+    return sim, MicroserviceApp(sim, AppSpec(n_services=6))
+
+
+class TestAppDag:
+    @pytest.mark.parametrize("label,n", PAPER_APPS)
+    def test_paper_app_sizes(self, label, n):
+        dag = make_app_dag(n)
+        assert dag.number_of_nodes() == n
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_single_entry(self):
+        dag = make_app_dag(10)
+        roots = [node for node in dag if dag.in_degree(node) == 0]
+        assert roots == ["svc0"]
+
+    def test_all_reachable_from_entry(self):
+        dag = make_app_dag(33)
+        reachable = nx.descendants(dag, "svc0") | {"svc0"}
+        assert len(reachable) == 33
+
+    def test_call_path_deterministic(self, app):
+        _sim, application = app
+        assert application.call_path(12345) == application.call_path(12345)
+
+    def test_call_path_starts_at_entry(self, app):
+        _sim, application = app
+        for path_hash in (0, 7, 99, 12345):
+            path = application.call_path(path_hash)
+            assert path[0] == "svc0"
+            # Each hop must be a real edge.
+            for caller, callee in zip(path, path[1:]):
+                assert callee in application.callees_of(caller)
+
+    def test_bigger_apps_have_deeper_paths(self):
+        sim = Simulator()
+        small = MicroserviceApp(sim, AppSpec(n_services=4))
+        sim2 = Simulator()
+        big = MicroserviceApp(sim2, AppSpec(n_services=33))
+        small_depth = max(len(small.call_path(h)) for h in range(50))
+        big_depth = max(len(big.call_path(h)) for h in range(50))
+        assert big_depth > small_depth
+
+    def test_agentless_app_has_no_agents(self):
+        sim = Simulator()
+        application = MicroserviceApp(
+            sim, AppSpec(n_services=2, with_agents=False)
+        )
+        with pytest.raises(WorkloadError):
+            application.agents_by_service()
+
+
+class TestProxy:
+    @pytest.fixture
+    def proxy(self):
+        from repro.net.fabric import Fabric
+
+        sim = Simulator()
+        fabric = Fabric(sim)
+        host = Host(sim, "h", cores=4, dram_bytes=32 * 2**20)
+        fabric.attach(host)
+        proxy = SidecarProxy(host, n_filter_slots=2)
+        agent = NodeAgent(host, proxy.sandbox)
+        return sim, proxy, agent
+
+    def test_empty_chain_continues(self, proxy):
+        _sim, sidecar, _agent = proxy
+        verdict, cost = sidecar.process_request(RequestContext())
+        assert verdict == CONTINUE
+        assert cost < 1.0
+
+    def test_filter_executes(self, proxy):
+        sim, sidecar, agent = proxy
+        sim.run_process(agent.inject(make_header_filter(version=4), "filter0"))
+        ctx = RequestContext()
+        verdict, cost = sidecar.process_request(ctx)
+        assert verdict == CONTINUE
+        assert sidecar.versions_seen(ctx) == 4
+        assert cost > 1.0
+
+    def test_deny_short_circuits(self, proxy):
+        sim, sidecar, agent = proxy
+        sim.run_process(agent.inject(make_rate_limit_filter(limit=0), "filter0"))
+        sim.run_process(agent.inject(make_header_filter(version=9), "filter1"))
+        ctx = RequestContext()
+        verdict, _ = sidecar.process_request(ctx)
+        assert verdict == DENY
+        assert sidecar.versions_seen(ctx) is None  # filter1 never ran
+        assert sidecar.requests_denied == 1
+
+    def test_chain_runs_in_order(self, proxy):
+        sim, sidecar, agent = proxy
+        sim.run_process(agent.inject(make_header_filter(version=1), "filter0"))
+        sim.run_process(agent.inject(make_header_filter(version=2), "filter1"))
+        ctx = RequestContext()
+        sidecar.process_request(ctx)
+        assert sidecar.versions_seen(ctx) == 2  # last writer wins
+
+
+class TestWorkload:
+    def test_offered_rate_approximate(self, app):
+        sim, application = app
+        load = OpenLoopLoad(application, rate_per_s=1000, seed=1,
+                            hop_service_us=10)
+        stats = sim.run_process(load.run(200_000))
+        assert stats.offered == pytest.approx(200, rel=0.3)
+
+    def test_all_complete_when_underloaded(self, app):
+        sim, application = app
+        load = OpenLoopLoad(application, rate_per_s=200, seed=2,
+                            hop_service_us=10)
+        stats = sim.run_process(load.run(100_000))
+        assert stats.completed == len(stats.records) == stats.offered
+
+    def test_latency_percentile_monotone(self, app):
+        sim, application = app
+        load = OpenLoopLoad(application, rate_per_s=500, seed=3,
+                            hop_service_us=50)
+        sim.run_process(load.run(100_000))
+        stats = load.stats
+        assert stats.latency_percentile(50) <= stats.latency_percentile(99)
+
+    def test_invalid_rate(self, app):
+        _sim, application = app
+        with pytest.raises(ValueError):
+            OpenLoopLoad(application, rate_per_s=0)
+
+
+class TestConsistencyProbe:
+    def test_uniform_versions_not_mixed(self, app):
+        sim, application = app
+        v1 = make_header_filter(version=1)
+        for agent in application.agents_by_service().values():
+            sim.run_process(agent.inject(v1, "filter0"))
+        probe = ConsistencyProbe(application, interval_us=100)
+        probe.start(duration_us=5_000)
+        sim.run()
+        result = probe.result()
+        assert result.probes_sent > 0
+        assert result.mixed_count == 0
+        assert result.window_us == 0.0
+
+    def test_mixed_versions_detected(self, app):
+        sim, application = app
+        # Half the services on v1, half on v2: probes crossing the
+        # boundary must report mixed.
+        services = application.services()
+        for index, service in enumerate(services):
+            version = 1 if index % 2 == 0 else 2
+            agent = application.pods[service].agent
+            sim.run_process(
+                agent.inject(make_header_filter(version=version), "filter0")
+            )
+        probe = ConsistencyProbe(application, interval_us=100)
+        probe.start(duration_us=10_000)
+        sim.run()
+        assert probe.result().mixed_count > 0
+
+    def test_stop_ends_probing(self, app):
+        sim, application = app
+        probe = ConsistencyProbe(application, interval_us=100)
+        probe.start(duration_us=1_000_000)
+        sim.run(until=2_000)
+        probe.stop()
+        count = probe.result().probes_sent
+        sim.run()
+        assert probe.result().probes_sent == count
+
+
+class TestResponseChain:
+    @pytest.fixture
+    def proxy(self):
+        from repro.net.fabric import Fabric
+
+        sim = Simulator()
+        fabric = Fabric(sim)
+        host = Host(sim, "h", cores=4, dram_bytes=32 * 2**20)
+        fabric.attach(host)
+        proxy = SidecarProxy(host, n_filter_slots=2)
+        agent = NodeAgent(host, proxy.sandbox)
+        return sim, proxy, agent
+
+    def test_empty_response_chain(self, proxy):
+        _sim, sidecar, _agent = proxy
+        verdict, cost = sidecar.process_response(RequestContext())
+        assert verdict == CONTINUE
+        assert cost < 1.0
+
+    def test_response_filter_executes(self, proxy):
+        sim, sidecar, agent = proxy
+        sim.run_process(agent.inject(make_header_filter(version=8), "resp0"))
+        ctx = RequestContext()
+        verdict, _cost = sidecar.process_response(ctx)
+        assert verdict == CONTINUE
+        assert sidecar.versions_seen(ctx) == 8
+
+    def test_response_chain_reverse_order(self, proxy):
+        sim, sidecar, agent = proxy
+        sim.run_process(agent.inject(make_header_filter(version=1), "resp0"))
+        sim.run_process(agent.inject(make_header_filter(version=2), "resp1"))
+        ctx = RequestContext()
+        sidecar.process_response(ctx)
+        # resp1 runs first, resp0 last: last writer is version 1.
+        assert sidecar.versions_seen(ctx) == 1
+
+    def test_response_deny(self, proxy):
+        sim, sidecar, agent = proxy
+        sim.run_process(agent.inject(make_rate_limit_filter(limit=0), "resp1"))
+        verdict, _ = sidecar.process_response(RequestContext())
+        assert verdict == DENY
+
+    def test_request_and_response_chains_independent(self, proxy):
+        sim, sidecar, agent = proxy
+        sim.run_process(agent.inject(make_header_filter(version=3), "filter0"))
+        ctx = RequestContext()
+        sidecar.process_response(ctx)
+        assert sidecar.versions_seen(ctx) is None  # resp chain empty
+
+    def test_workload_with_responses(self):
+        sim = Simulator()
+        application = MicroserviceApp(sim, AppSpec(n_services=4))
+        # Response filter that denies everything on one service.
+        agent = application.pods["svc0"].agent
+        sim.run_process(agent.inject(make_rate_limit_filter(limit=0), "resp0"))
+        load = OpenLoopLoad(application, rate_per_s=500, seed=4,
+                            hop_service_us=10, with_responses=True)
+        stats = sim.run_process(load.run(50_000))
+        # Every request unwinds through svc0's resp chain -> all denied.
+        assert stats.offered > 0
+        assert all(r.denied for r in stats.records)

@@ -1,0 +1,133 @@
+"""Tests for the rack fabric and message delivery."""
+
+import pytest
+
+from repro import params
+from repro.errors import ReproError
+from repro.net.fabric import Fabric, Message
+from repro.net.topology import Cluster, Host
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def pair():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    a = Host(sim, "a", dram_bytes=1 << 20)
+    b = Host(sim, "b", dram_bytes=1 << 20)
+    fabric.attach(a)
+    fabric.attach(b)
+    return sim, fabric, a, b
+
+
+class TestDelivery:
+    def test_message_delivered_with_latency(self, pair):
+        sim, fabric, a, b = pair
+        done = fabric.send(Message(src="a", dst="b", channel="x", size_bytes=0))
+        sim.run()
+        assert done.triggered
+        assert sim.now == pytest.approx(params.NET_BASE_LATENCY_US)
+
+    def test_serialization_delay_scales_with_size(self, pair):
+        sim, fabric, a, b = pair
+        size = 125_000
+        fabric.send(Message(src="a", dst="b", channel="x", size_bytes=size))
+        sim.run()
+        expected = params.NET_BASE_LATENCY_US + size / fabric.bandwidth_bpus
+        assert sim.now == pytest.approx(expected)
+
+    def test_handler_invoked(self, pair):
+        sim, fabric, a, b = pair
+        received = []
+        b.register_handler("ch", lambda msg: received.append(msg.payload))
+        fabric.send(Message(src="a", dst="b", channel="ch", size_bytes=10,
+                            payload="data"))
+        sim.run()
+        assert received == ["data"]
+
+    def test_generator_handler_spawned(self, pair):
+        sim, fabric, a, b = pair
+        marks = []
+
+        def handler(msg):
+            yield sim.timeout(5)
+            marks.append(sim.now)
+
+        b.register_handler("gen", handler)
+        fabric.send(Message(src="a", dst="b", channel="gen", size_bytes=0))
+        sim.run()
+        assert marks and marks[0] > params.NET_BASE_LATENCY_US
+
+    def test_no_handler_is_fine(self, pair):
+        sim, fabric, a, b = pair
+        fabric.send(Message(src="a", dst="b", channel="nobody", size_bytes=0))
+        sim.run()
+
+    def test_egress_serializes_per_sender(self, pair):
+        sim, fabric, a, b = pair
+        size = 125_000  # 10 us serialization each
+        for _ in range(3):
+            fabric.send(Message(src="a", dst="b", channel="x", size_bytes=size))
+        sim.run()
+        serialize = size / fabric.bandwidth_bpus
+        assert sim.now == pytest.approx(
+            3 * serialize + params.NET_BASE_LATENCY_US
+        )
+
+    def test_counters(self, pair):
+        sim, fabric, a, b = pair
+        fabric.send(Message(src="a", dst="b", channel="x", size_bytes=100))
+        sim.run()
+        assert fabric.messages_sent == 1
+        assert fabric.bytes_sent == 100
+
+
+class TestValidation:
+    def test_unknown_destination(self, pair):
+        _sim, fabric, _a, _b = pair
+        with pytest.raises(ReproError):
+            fabric.send(Message(src="a", dst="ghost", channel="x", size_bytes=0))
+
+    def test_unknown_source(self, pair):
+        _sim, fabric, _a, _b = pair
+        with pytest.raises(ReproError):
+            fabric.send(Message(src="ghost", dst="b", channel="x", size_bytes=0))
+
+    def test_negative_size(self, pair):
+        _sim, fabric, _a, _b = pair
+        with pytest.raises(ReproError):
+            fabric.send(Message(src="a", dst="b", channel="x", size_bytes=-1))
+
+    def test_double_attach_rejected(self, pair):
+        sim, fabric, a, _b = pair
+        with pytest.raises(ReproError):
+            fabric.attach(a)
+
+    def test_host_lookup(self, pair):
+        _sim, fabric, a, _b = pair
+        assert fabric.host("a") is a
+        with pytest.raises(ReproError):
+            fabric.host("ghost")
+
+
+class TestCluster:
+    def test_builds_hosts_and_control(self):
+        cluster = Cluster(Simulator(), n_hosts=3)
+        assert [h.name for h in cluster.hosts] == ["node0", "node1", "node2"]
+        assert cluster.control_host is not None
+        assert cluster.control_host.name == "control"
+        assert len(cluster.all_hosts()) == 4
+
+    def test_without_control(self):
+        cluster = Cluster(Simulator(), n_hosts=1, with_control_host=False)
+        assert cluster.control_host is None
+
+    def test_host_lookup(self):
+        cluster = Cluster(Simulator(), n_hosts=2)
+        assert cluster.host("node1").name == "node1"
+        with pytest.raises(KeyError):
+            cluster.host("nope")
+
+    def test_needs_one_host(self):
+        with pytest.raises(ValueError):
+            Cluster(Simulator(), n_hosts=0)

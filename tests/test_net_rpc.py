@@ -1,0 +1,131 @@
+"""Tests for the TCP/gRPC-style RPC layer."""
+
+import pytest
+
+from repro import params
+from repro.errors import ReproError
+from repro.net.fabric import Fabric
+from repro.net.rpc import RpcEndpoint, RpcError
+from repro.net.topology import Host
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def endpoints():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    client_host = Host(sim, "client", dram_bytes=1 << 20)
+    server_host = Host(sim, "server", dram_bytes=1 << 20)
+    fabric.attach(client_host)
+    fabric.attach(server_host)
+    client = RpcEndpoint(client_host, "client")
+    server = RpcEndpoint(server_host, "compute")
+    return sim, client, server, client_host, server_host
+
+
+class TestRpc:
+    def test_call_returns_value(self, endpoints):
+        sim, client, server, *_ = endpoints
+
+        def double(args):
+            yield sim.timeout(0)
+            return args * 2
+
+        server.register("double", double)
+
+        def caller():
+            value = yield client.call(server.host, "compute", "double", args=21)
+            return value
+
+        assert sim.run_process(caller()) == 42
+
+    def test_latency_includes_stack_cost(self, endpoints):
+        sim, client, server, *_ = endpoints
+        server.register("noop", lambda args: (yield sim.timeout(0)))
+
+        def caller():
+            yield client.call(server.host, "compute", "noop")
+            return sim.now
+
+        elapsed = sim.run_process(caller())
+        assert elapsed >= params.RPC_BASE_LATENCY_US
+
+    def test_unknown_method_raises(self, endpoints):
+        sim, client, server, *_ = endpoints
+
+        def caller():
+            yield client.call(server.host, "compute", "missing")
+
+        process = sim.spawn(caller())
+        sim.run()
+        with pytest.raises(RpcError, match="no method"):
+            _ = process.value
+
+    def test_handler_error_propagates(self, endpoints):
+        sim, client, server, *_ = endpoints
+
+        def broken(args):
+            yield sim.timeout(0)
+            raise ReproError("handler exploded")
+
+        server.register("broken", broken)
+
+        def caller():
+            yield client.call(server.host, "compute", "broken")
+
+        process = sim.spawn(caller())
+        sim.run()
+        with pytest.raises(RpcError, match="handler exploded"):
+            _ = process.value
+
+    def test_handler_consumes_server_cpu(self, endpoints):
+        sim, client, server, _client_host, server_host = endpoints
+
+        def heavy(args):
+            yield from server_host.cpu.run(500)
+            return "done"
+
+        server.register("heavy", heavy)
+
+        def caller():
+            value = yield client.call(server.host, "compute", "heavy")
+            return value
+
+        assert sim.run_process(caller()) == "done"
+        assert server_host.cpu.busy_us == 500
+
+    def test_plain_function_handler(self, endpoints):
+        sim, client, server, *_ = endpoints
+        server.register("plain", lambda args: args + 1)
+
+        def caller():
+            value = yield client.call(server.host, "compute", "plain", args=1)
+            return value
+
+        assert sim.run_process(caller()) == 2
+
+    def test_concurrent_calls_multiplex(self, endpoints):
+        sim, client, server, *_ = endpoints
+
+        def echo(args):
+            yield sim.timeout(args)
+            return args
+
+        server.register("echo", echo)
+
+        def caller():
+            calls = [
+                client.call(server.host, "compute", "echo", args=delay)
+                for delay in (30, 10, 20)
+            ]
+            values = yield sim.all_of(calls)
+            return values
+
+        assert sim.run_process(caller()) == [30, 10, 20]
+        assert server.calls_served == 3
+
+    def test_requires_fabric(self):
+        sim = Simulator()
+        host = Host(sim, "lonely", dram_bytes=1 << 20)
+        with pytest.raises(ReproError):
+            RpcEndpoint(host, "svc")

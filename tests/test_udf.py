@@ -1,0 +1,193 @@
+"""UDF tests: expression evaluation, validation, compilation, engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import VerifierError, WorkloadError
+from repro.net.topology import Host
+from repro.sim.core import Simulator
+from repro.udf.compiler import compile_udf
+from repro.udf.engine import Query, QueryEngine
+from repro.udf.expr import Arg, BinOp, Call, Const, node_count, udf_eval
+from repro.udf.validator import udf_validate
+from repro.wasm.runtime import WasmRuntime
+
+U32 = (1 << 32) - 1
+
+
+class TestEval:
+    def test_const(self):
+        assert udf_eval(Const(5), []) == 5
+
+    def test_arg(self):
+        assert udf_eval(Arg(1), [10, 20]) == 20
+
+    def test_binop(self):
+        assert udf_eval(BinOp("*", Arg(0), Const(3)), [7]) == 21
+
+    def test_builtins(self):
+        assert udf_eval(Call("min", Const(3), Const(9)), []) == 3
+        assert udf_eval(Call("max", Const(3), Const(9)), []) == 9
+        assert udf_eval(Call("clamp", Const(50), Const(0), Const(10)), []) == 10
+        assert udf_eval(Call("abs", Const(5)), []) == 5
+
+    def test_division_by_zero(self):
+        assert udf_eval(BinOp("/", Const(9), Const(0) if False else Arg(0)), [0]) == 0
+
+    def test_node_count(self):
+        expr = BinOp("+", Arg(0), Call("min", Const(1), Const(2)))
+        assert node_count(expr) == 5
+
+
+class TestValidator:
+    def test_accepts_normal(self):
+        stats = udf_validate(BinOp("+", Arg(0), Const(1)), row_width=4)
+        assert stats.nodes == 3
+        assert stats.args_used == (0,)
+
+    def test_arg_beyond_row(self):
+        with pytest.raises(VerifierError, match="row width"):
+            udf_validate(Arg(9), row_width=4)
+
+    def test_unknown_operator(self):
+        with pytest.raises(VerifierError, match="operator"):
+            udf_validate(BinOp("**", Arg(0), Const(2)))
+
+    def test_unknown_builtin(self):
+        with pytest.raises(VerifierError, match="builtin"):
+            udf_validate(Call("sqrt", Arg(0)))
+
+    def test_wrong_arity(self):
+        with pytest.raises(VerifierError, match="expects"):
+            udf_validate(Call("min", Arg(0)))
+
+    def test_const_zero_divisor(self):
+        with pytest.raises(VerifierError, match="zero"):
+            udf_validate(BinOp("/", Arg(0), Const(0)))
+
+    def test_depth_limit(self):
+        expr = Arg(0)
+        for _ in range(100):
+            expr = BinOp("+", expr, Const(1))
+        with pytest.raises(VerifierError, match="deep"):
+            udf_validate(expr)
+
+
+def expr_strategy(max_depth=4):
+    leaves = st.one_of(
+        st.builds(Const, st.integers(0, 1000)),
+        st.builds(Arg, st.integers(0, 3)),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(
+                BinOp,
+                st.sampled_from(["+", "-", "*", "&", "|", "^", "<<", ">>"]),
+                children,
+                children,
+            ),
+            st.builds(lambda a, b: Call("min", a, b), children, children),
+            st.builds(lambda a, b: Call("max", a, b), children, children),
+            st.builds(
+                lambda a, b, c: Call("clamp", a, b, c), children, children, children
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+class TestCompiler:
+    def test_simple_compile_runs(self):
+        module = compile_udf(BinOp("+", Arg(0), Const(5)), row_width=4)
+        result = WasmRuntime().run(module.insns, None, args=(10, 0, 0, 0), n_locals=6)
+        assert result.value == 15
+
+    def test_clamp_lowering(self):
+        expr = Call("clamp", Arg(0), Const(10), Const(20))
+        module = compile_udf(expr, row_width=2)
+        for value, expected in [(5, 10), (15, 15), (50, 20)]:
+            got = WasmRuntime().run(
+                module.insns, None, args=(value, 0), n_locals=4
+            ).value
+            assert got == expected
+
+    def test_fully_inline(self):
+        from repro.wasm.compiler import wasm_compile
+
+        module = compile_udf(BinOp("*", Arg(0), Const(2)), row_width=2)
+        binary = wasm_compile(module)
+        assert binary.relocations == []  # UDFs need no linking (§3.3)
+
+    def test_invalid_rejected_before_compile(self):
+        with pytest.raises(VerifierError):
+            compile_udf(Arg(99), row_width=4)
+
+    @given(expr_strategy(), st.lists(st.integers(0, U32), min_size=4, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_differential_vs_reference(self, expr, row):
+        """Compiled stack code computes exactly what udf_eval computes."""
+        try:
+            udf_validate(expr, row_width=4)
+        except VerifierError:
+            return
+        module = compile_udf(expr, row_width=4)
+        got = WasmRuntime().run(module.insns, None, args=tuple(row), n_locals=6).value
+        assert got == udf_eval(expr, row)
+
+
+class TestEngine:
+    @pytest.fixture
+    def engine(self):
+        sim = Simulator()
+        host = Host(sim, "db", cores=4, dram_bytes=1 << 20)
+        engine = QueryEngine(host, row_width=4)
+        engine.load_table(
+            "t", [(i, i * 2, i * 3, 0) for i in range(50)]
+        )
+        return sim, engine
+
+    def test_local_query_correct(self, engine):
+        sim, eng = engine
+        query = Query(udf=BinOp("+", Arg(0), Arg(1)), table="t")
+        result = sim.run_process(eng.run_query_local(query))
+        assert result.values == [i + i * 2 for i in range(50)]
+
+    def test_rdx_query_correct(self, engine):
+        sim, eng = engine
+        query = Query(udf=Call("max", Arg(0), Arg(2)), table="t")
+        result = sim.run_process(eng.run_query_rdx(query, udf_key="max02"))
+        assert result.values == [max(i, i * 3) & U32 for i in range(50)]
+
+    def test_rdx_injection_is_microseconds(self, engine):
+        sim, eng = engine
+        query = Query(udf=BinOp("+", Arg(0), Const(1)), table="t")
+        # Warm the compile cache, then measure.
+        sim.run_process(eng.run_query_rdx(query, udf_key="k"))
+        repeat = Query(udf=BinOp("+", Arg(0), Const(1)), table="t")
+        result = sim.run_process(eng.run_query_rdx(repeat, udf_key="k"))
+        assert result.inject_us < 100
+
+    def test_local_injection_slower_than_rdx(self, engine):
+        sim, eng = engine
+        expr = Call("clamp", BinOp("*", Arg(0), Const(3)), Const(0), Const(99))
+        local = sim.run_process(eng.run_query_local(Query(udf=expr, table="t")))
+        sim.run_process(eng.run_query_rdx(Query(udf=expr, table="t"), "warm"))
+        rdx = sim.run_process(eng.run_query_rdx(Query(udf=expr, table="t"), "warm"))
+        assert local.inject_us > rdx.inject_us
+
+    def test_unknown_table(self, engine):
+        sim, eng = engine
+        with pytest.raises(WorkloadError):
+            sim.run_process(eng.run_query_local(Query(udf=Arg(0), table="nope")))
+
+    def test_row_width_enforced(self, engine):
+        _sim, eng = engine
+        with pytest.raises(WorkloadError):
+            eng.load_table("bad", [(1, 2)])
+
+    def test_reference_helper(self, engine):
+        _sim, eng = engine
+        query = Query(udf=BinOp("+", Arg(0), Arg(1)), table="t")
+        rows = [(1, 2, 3, 4), (5, 6, 7, 8)]
+        assert QueryEngine.reference(query, rows) == [3, 11]
