@@ -6,9 +6,12 @@ Usage::
     python -m repro.cli fig4a
     python -m repro.cli fig5 --quick
     python -m repro.cli all --quick
+    python -m repro.cli telemetry --quick --format prom
 
 ``--quick`` shrinks sweeps for a fast smoke run; the default settings
-match `benchmarks/`.
+match `benchmarks/`.  ``telemetry`` runs a representative deploy /
+broadcast / audit workload and prints the resulting metrics snapshot
+(``--format table|jsonl|prom``).
 """
 
 from __future__ import annotations
@@ -166,6 +169,97 @@ def _tab_rollback(quick: bool) -> str:
     )
 
 
+def run_telemetry_workload(quick: bool = False):
+    """Drive a representative workload; returns (testbed, last AuditReport).
+
+    Exercises every instrumented layer: cold + warm deploys (cache
+    miss/hit), an ``rdx_broadcast`` fan-out (parent + per-target child
+    spans), an XState deploy, and two audits -- one clean, one after
+    tampering with a deployed image so findings counters move.
+    """
+    from repro.core.broadcast import CodeFlowGroup
+    from repro.core.introspect import RemoteIntrospector
+    from repro.core.xstate import XStateSpec
+    from repro.ebpf.maps import MapType
+    from repro.ebpf.stress import make_stress_program
+    from repro.exp.harness import make_testbed
+
+    n_hosts = 2 if quick else 4
+    repeats = 2 if quick else 5
+    bed = make_testbed(n_hosts=n_hosts, cores_per_host=8)
+
+    # Cold deploy (cache miss: validate + JIT) then warm re-deploys
+    # (cache hits: pure injection -- the Fig 4b fast path).
+    program = make_stress_program(1_300 if quick else 5_000, seed=7)
+    for _ in range(repeats):
+        bed.sim.run_process(
+            bed.control.inject(bed.codeflow, program, "ingress")
+        )
+
+    # Cluster-wide transactional update: one program per target.
+    group = CodeFlowGroup(bed.codeflows)
+    rollout = make_stress_program(900, seed=11, name="rollout")
+    bed.sim.run_process(
+        group.broadcast([rollout] * len(bed.codeflows), "egress")
+    )
+
+    # Extension state (Meta-XState) deploy.
+    bed.sim.run_process(
+        bed.codeflow.deploy_xstate(XStateSpec("kv", MapType.HASH, 4, 8, 8))
+    )
+
+    # Remote audits: a clean pass, then one that must find tampering.
+    introspector = RemoteIntrospector(bed.codeflow)
+    introspector.snapshot_deployed()
+    bed.sim.run_process(introspector.audit())
+    record = bed.codeflow.deployed[program.name]
+    raw = bed.host.memory.read(record.code_addr + 16, 1)
+    bed.host.memory.write(record.code_addr + 16, bytes([raw[0] ^ 0xFF]))
+    report = bed.sim.run_process(introspector.audit())
+    return bed, report
+
+
+def _telemetry(quick: bool, fmt: str = "table") -> str:
+    from repro.obs import to_jsonl, to_prometheus
+
+    bed, _report = run_telemetry_workload(quick)
+    registry = bed.obs.registry
+    if fmt == "jsonl":
+        return to_jsonl(registry).rstrip("\n")
+    if fmt == "prom":
+        return to_prometheus(registry).rstrip("\n")
+
+    scalar_rows = []
+    histo_rows = []
+    for row in registry.snapshot():
+        labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+        if row["type"] == "histogram":
+            histo_rows.append(
+                (row["name"], labels, row["count"], row["p50"], row["p90"],
+                 row["p99"], row["max"])
+            )
+        else:
+            scalar_rows.append((row["name"], labels, row["type"], row["value"]))
+    parts = [
+        format_table(
+            "Telemetry -- counters and gauges",
+            ["name", "labels", "type", "value"],
+            scalar_rows,
+        ),
+        "",
+        format_table(
+            "Telemetry -- histograms (us unless noted)",
+            ["name", "labels", "count", "p50", "p90", "p99", "max"],
+            histo_rows,
+            note=(
+                f"{bed.obs.tracer.started} spans, "
+                f"{len(bed.obs.recorder)} trace events"
+            ),
+        ),
+    ]
+    return "\n".join(parts)
+
+
 EXPERIMENTS: dict[str, Callable[[bool], str]] = {
     "fig2a": _fig2a,
     "fig2b": _fig2b,
@@ -186,20 +280,30 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which figure/table to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "telemetry"],
+        help="which figure/table to regenerate (or 'telemetry')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps, faster run"
+    )
+    parser.add_argument(
+        "--format",
+        choices=["table", "jsonl", "prom"],
+        default="table",
+        help="output format for the telemetry snapshot",
     )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         try:
-            for name in sorted(EXPERIMENTS):
+            for name in sorted(EXPERIMENTS) + ["telemetry"]:
                 print(name)
         except BrokenPipeError:  # e.g. `repro list | head`
             pass
+        return 0
+
+    if args.experiment == "telemetry":
+        print(_telemetry(args.quick, args.format))
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -93,39 +93,61 @@ class CodeFlowGroup:
             group_size=len(self.codeflows), started_us=self.sim.now
         )
 
-        # Phase 0: make sure every program is validated + compiled
-        # *before* any bubble rises -- the registry's "validate once,
-        # deploy anywhere" keeps compilation off the consistency
-        # window entirely.
-        for program, codeflow in zip(programs, self.codeflows):
-            yield from self.control_plane.prepare_for(codeflow, program)
+        obs = self.control_plane.obs
+        obs.counter("rdx.broadcast.count").inc()
+        obs.counter("rdx.broadcast.targets").inc(len(self.codeflows))
+        obs.histogram("rdx.broadcast.fanout").observe(len(self.codeflows))
+        with obs.span(
+            "rdx.broadcast", group_size=len(self.codeflows), bbu=use_bbu
+        ) as span:
+            # Phase 0: make sure every program is validated + compiled
+            # *before* any bubble rises -- the registry's "validate once,
+            # deploy anywhere" keeps compilation off the consistency
+            # window entirely.
+            for program, codeflow in zip(programs, self.codeflows):
+                yield from self.control_plane.prepare_for(
+                    codeflow, program, parent_span=span
+                )
 
-        # Phase 1: raise every bubble in parallel.
-        if use_bbu:
-            raises = [
-                self.sim.spawn(self._set_bubble(cf, 1), name=f"bubble+{i}")
-                for i, cf in enumerate(self.codeflows)
+            # Phase 1: raise every bubble in parallel.
+            if use_bbu:
+                raises = [
+                    self.sim.spawn(self._set_bubble(cf, 1), name=f"bubble+{i}")
+                    for i, cf in enumerate(self.codeflows)
+                ]
+                yield self.sim.all_of(raises)
+            result.bubble_raised_us = self.sim.now
+
+            # Phase 2: deploy everywhere in parallel (the write set).
+            # Each target's deploy runs inside its own child span, so
+            # the fan-out renders as one parent with per-target legs.
+            def deploy_one(cf, prog):
+                with obs.span(
+                    "rdx.broadcast.target", parent=span,
+                    target=cf.sandbox.name, program=prog.name,
+                ) as child:
+                    report = yield from self.control_plane.inject(
+                        cf, prog, hook_name, parent_span=child
+                    )
+                return report
+
+            deploys = [
+                self.sim.spawn(deploy_one(cf, prog), name=f"deploy:{prog.name}")
+                for cf, prog in zip(self.codeflows, programs)
             ]
-            yield self.sim.all_of(raises)
-        result.bubble_raised_us = self.sim.now
+            done = yield self.sim.all_of(deploys)
+            result.reports = list(done)
+            result.deploys_done_us = self.sim.now
 
-        # Phase 2: deploy everywhere in parallel (the write set).
-        deploys = [
-            self.sim.spawn(
-                self.control_plane.inject(cf, prog, hook_name),
-                name=f"deploy:{prog.name}",
-            )
-            for cf, prog in zip(self.codeflows, programs)
-        ]
-        done = yield self.sim.all_of(deploys)
-        result.reports = list(done)
-        result.deploys_done_us = self.sim.now
-
-        # Phase 3: lower bubbles in dependency order (sequential: a
-        # caller's bubble only drops once its callees run new logic).
-        if use_bbu:
-            for index in order:
-                yield from self._set_bubble(self.codeflows[index], 0)
+            # Phase 3: lower bubbles in dependency order (sequential: a
+            # caller's bubble only drops once its callees run new logic).
+            if use_bbu:
+                for index in order:
+                    yield from self._set_bubble(self.codeflows[index], 0)
         result.bubble_lowered_us = self.sim.now
         result.bubble_window_us = result.bubble_lowered_us - result.bubble_raised_us
+        # BBU buffering cost proxy: how long every target held requests.
+        obs.histogram("rdx.broadcast.bubble_window_us").observe(
+            result.bubble_window_us
+        )
         return result

@@ -19,6 +19,8 @@ from repro.ebpf.jit import JitBinary
 from repro.ebpf.maps import BpfMap
 from repro.ebpf.program import BpfProgram
 from repro.mem.memory import RegionAllocator
+from repro.obs import telemetry_of
+from repro.obs.spans import Span
 from repro.sandbox.metadata import MetadataBlock, SLOT_DETACHED, SLOT_LIVE
 from repro.sandbox.sandbox import Sandbox
 from repro.core.linker import RemoteLinker
@@ -86,6 +88,7 @@ class CodeFlow:
     ):
         self.control_plane = control_plane
         self.sim = control_plane.sim
+        self.obs = telemetry_of(self.sim)
         self.sandbox = sandbox
         self.sync = sync
         manifest = sandbox.ctx_manifest
@@ -122,10 +125,14 @@ class CodeFlow:
 
     # -- rdx_link_code -------------------------------------------------------
 
-    def link_code(self, binary: JitBinary) -> Generator:
+    def link_code(
+        self, binary: JitBinary, parent_span: Optional[Span] = None
+    ) -> Generator:
         """Link ``binary`` against this target; returns the linked image."""
-        linked, cost_us = self.linker.link(binary)
-        yield from self.control_plane.host.cpu.run(cost_us)
+        with self.obs.span("rdx.link", parent=parent_span, target=self.sandbox.name):
+            linked, cost_us = self.linker.link(binary)
+            yield from self.control_plane.host.cpu.run(cost_us)
+        self.obs.histogram("rdx.link.cpu_us").observe(cost_us)
         return linked
 
     # -- rdx_deploy_prog ------------------------------------------------------
@@ -137,6 +144,7 @@ class CodeFlow:
         hook_name: str,
         flush_hook: bool = True,
         retain_history: bool = True,
+        parent_span: Optional[Span] = None,
     ) -> Generator:
         """One-sided injection of a linked image + metadata + hook flip.
 
@@ -153,6 +161,31 @@ class CodeFlow:
             program_name=program.name,
             started_us=self.sim.now,
         )
+        span = self.obs.span(
+            "rdx.deploy", parent=parent_span,
+            program=program.name, target=self.sandbox.name, hook=hook_name,
+        )
+        try:
+            report = yield from self._deploy_body(
+                program, linked, hook_name, flush_hook, retain_history, report
+            )
+        except BaseException as err:
+            span.status = "error"
+            span.finish(error=str(err))
+            raise
+        span.finish(total_us=report.total_us)
+        self._observe_deploy(report, len(linked.code))
+        return report
+
+    def _deploy_body(
+        self,
+        program: BpfProgram,
+        linked: JitBinary,
+        hook_name: str,
+        flush_hook: bool,
+        retain_history: bool,
+        report: DeployReport,
+    ) -> Generator:
         # Dispatch: registry lookup, WQE prep, completion polling --
         # control-plane CPU only.
         mark = self.sim.now
@@ -242,6 +275,16 @@ class CodeFlow:
             total_us=report.total_us,
         )
         return report
+
+    def _observe_deploy(self, report: DeployReport, code_bytes: int) -> None:
+        """Feed one successful deploy into the metrics registry."""
+        self.obs.counter("rdx.deploy.count").inc()
+        # Image bytes plus the 256-byte metadata descriptor write.
+        self.obs.counter("rdx.deploy.bytes_written").inc(code_bytes + 256)
+        for phase, value in report.phases().items():
+            if phase == "link":
+                continue  # linking is measured by its own rdx.link span
+            self.obs.histogram(f"rdx.deploy.{phase}_us").observe(value)
 
     def _pick_metadata_slot(self) -> int:
         for index in range(self.manifest.metadata_slots):
@@ -336,23 +379,31 @@ class CodeFlow:
                 f"{spec.name}: initial image is {len(image)} bytes, "
                 f"spec wants {spec.data_bytes()}"
             )
-        yield from self.sync.write(
-            handle.header_addr, encode_xstate_header(spec) + image
-        )
-        meta_addr = self.scratchpad.meta_entry_addr(handle.meta_index)
-        prior = yield from self.sync.tx(
-            obj_addr=handle.header_addr,
-            obj_bytes=b"",
-            qword_addr=meta_addr,
-            new_qword=handle.header_addr,
-            expect=0,
-        )
-        if prior != 0:
-            self.scratchpad.release(handle)
-            raise XStateError(
-                f"{spec.name}: meta slot {handle.meta_index} already taken"
+        with self.obs.span(
+            "rdx.xstate.deploy", xstate=spec.name, target=self.sandbox.name
+        ):
+            yield from self.sync.write(
+                handle.header_addr, encode_xstate_header(spec) + image
             )
-        yield from self.sync.cc_event(handle.header_addr, params.XSTATE_HEADER_BYTES)
+            meta_addr = self.scratchpad.meta_entry_addr(handle.meta_index)
+            prior = yield from self.sync.tx(
+                obj_addr=handle.header_addr,
+                obj_bytes=b"",
+                qword_addr=meta_addr,
+                new_qword=handle.header_addr,
+                expect=0,
+            )
+            if prior != 0:
+                self.scratchpad.release(handle)
+                raise XStateError(
+                    f"{spec.name}: meta slot {handle.meta_index} already taken"
+                )
+            yield from self.sync.cc_event(
+                handle.header_addr, params.XSTATE_HEADER_BYTES
+            )
+        self.obs.counter("rdx.xstate.bytes_written").inc(
+            params.XSTATE_HEADER_BYTES + len(image)
+        )
         return handle
 
     def destroy_xstate(self, handle: XStateHandle) -> Generator:

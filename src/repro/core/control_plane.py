@@ -25,6 +25,8 @@ from repro.ebpf.maps import BpfMap
 from repro.ebpf.program import BpfProgram
 from repro.ebpf.verifier import MapGeometry, VerifierStats, verify
 from repro.net.topology import Host
+from repro.obs import telemetry_of
+from repro.obs.spans import Span
 from repro.rdma.mr import AccessFlags
 from repro.rdma.verbs import connect_qps, open_device
 from repro.sandbox.sandbox import Sandbox
@@ -60,6 +62,7 @@ class RdxControlPlane:
         self.sim = host.sim
         self.policy = policy or SecurityPolicy.permissive()
         self.trace = trace or TraceRecorder(enabled=False)
+        self.obs = telemetry_of(host.sim)
         self._verbs = open_device(host)
         self._pd = self._verbs.alloc_pd()
         self._cq = self._verbs.create_cq()
@@ -89,26 +92,27 @@ class RdxControlPlane:
             )
         manifest = sandbox.ctx_manifest
 
-        target_ctx = open_device(sandbox.host)
-        target_pd_qp = target_ctx.create_qp(
-            _pd_of(sandbox), target_ctx.create_cq()
-        )
-        local_qp = self._verbs.create_qp(self._pd, self._cq)
-        connect_qps(local_qp, target_pd_qp)
-        sync = RemoteSync(self.sim, local_qp, manifest.rkey, sandbox)
+        with self.obs.span("rdx.create", target=sandbox.name):
+            target_ctx = open_device(sandbox.host)
+            target_pd_qp = target_ctx.create_qp(
+                _pd_of(sandbox), target_ctx.create_cq()
+            )
+            local_qp = self._verbs.create_qp(self._pd, self._cq)
+            connect_qps(local_qp, target_pd_qp)
+            sync = RemoteSync(self.sim, local_qp, manifest.rkey, sandbox)
 
-        # Stub rendezvous + GOT snapshot read.
-        yield self.sim.timeout(params.RDX_STUB_RENDEZVOUS_US)
-        got_size = len(manifest.got_layout) * 8
-        if got_size:
-            yield from sync.read(manifest.got_addr, got_size)
+            # Stub rendezvous + GOT snapshot read.
+            yield self.sim.timeout(params.RDX_STUB_RENDEZVOUS_US)
+            got_size = len(manifest.got_layout) * 8
+            if got_size:
+                yield from sync.read(manifest.got_addr, got_size)
 
-        codeflow = CodeFlow(
-            control_plane=self,
-            sandbox=sandbox,
-            sync=sync,
-            helper_addresses=manifest.helper_addresses,
-        )
+            codeflow = CodeFlow(
+                control_plane=self,
+                sandbox=sandbox,
+                sync=sync,
+                helper_addresses=manifest.helper_addresses,
+            )
         self.codeflows.append(codeflow)
         self.trace.record(
             self.sim.now, "rdx.codeflow.created", target=sandbox.name
@@ -123,6 +127,7 @@ class RdxControlPlane:
         maps: Sequence[BpfMap] = (),
         ctx_size: int = 256,
         principal: Optional[Principal] = None,
+        parent_span: Optional[Span] = None,
     ) -> Generator:
         """Remote validation on the control plane's own CPU (§3.2).
 
@@ -134,21 +139,26 @@ class RdxControlPlane:
 
         self.policy.check(principal, "validate", program.name)
         self.policy.check_program_limits(program)
-        if isinstance(program, WasmModule):
-            stats = wasm_validate(program)
-            cost = (
-                params.verify_cost_us(len(program.insns))
-                * params.WASM_COMPILE_FACTOR
-            )
-        else:
-            geometry = {
-                slot: MapGeometry(m.key_size, m.value_size)
-                for slot, m in enumerate(maps)
-            }
-            stats = verify(program, geometry, ctx_size=ctx_size)
-            cost = params.verify_cost_us(len(program.insns))
-        cost *= params.RDX_CONTROL_COMPILE_FACTOR
-        yield from self.host.cpu.run(cost)
+        with self.obs.span(
+            "rdx.validate", parent=parent_span,
+            program=program.name, insns=len(program.insns),
+        ):
+            if isinstance(program, WasmModule):
+                stats = wasm_validate(program)
+                cost = (
+                    params.verify_cost_us(len(program.insns))
+                    * params.WASM_COMPILE_FACTOR
+                )
+            else:
+                geometry = {
+                    slot: MapGeometry(m.key_size, m.value_size)
+                    for slot, m in enumerate(maps)
+                }
+                stats = verify(program, geometry, ctx_size=ctx_size)
+                cost = params.verify_cost_us(len(program.insns))
+            cost *= params.RDX_CONTROL_COMPILE_FACTOR
+            yield from self.host.cpu.run(cost)
+        self.obs.histogram("rdx.validate.cpu_us").observe(cost)
         self.validations_run += 1
         return stats
 
@@ -159,23 +169,28 @@ class RdxControlPlane:
         program: BpfProgram,
         arch: str = "x86_64",
         principal: Optional[Principal] = None,
+        parent_span: Optional[Span] = None,
     ) -> Generator:
         """Cross-architecture JIT on the control plane (§3.2)."""
         from repro.wasm.compiler import wasm_compile
         from repro.wasm.module import WasmModule
 
         self.policy.check(principal, "compile", program.name)
-        if isinstance(program, WasmModule):
-            binary = wasm_compile(program, arch=arch)
-            cost = (
-                params.jit_cost_us(len(program.insns))
-                * params.WASM_COMPILE_FACTOR
-            )
-        else:
-            binary = jit_compile(program, arch=arch)
-            cost = params.jit_cost_us(len(program.insns))
-        cost *= params.RDX_CONTROL_COMPILE_FACTOR
-        yield from self.host.cpu.run(cost)
+        with self.obs.span(
+            "rdx.jit", parent=parent_span, program=program.name, arch=arch
+        ):
+            if isinstance(program, WasmModule):
+                binary = wasm_compile(program, arch=arch)
+                cost = (
+                    params.jit_cost_us(len(program.insns))
+                    * params.WASM_COMPILE_FACTOR
+                )
+            else:
+                binary = jit_compile(program, arch=arch)
+                cost = params.jit_cost_us(len(program.insns))
+            cost *= params.RDX_CONTROL_COMPILE_FACTOR
+            yield from self.host.cpu.run(cost)
+        self.obs.histogram("rdx.jit.cpu_us").observe(cost)
         self.compiles_run += 1
         return binary
 
@@ -188,18 +203,22 @@ class RdxControlPlane:
         arch: str = "x86_64",
         ctx_size: int = 256,
         principal: Optional[Principal] = None,
+        parent_span: Optional[Span] = None,
     ) -> Generator:
         """Validate + compile with caching; returns a RegistryEntry."""
         key = (program.tag(), arch)
         entry = self.registry.get(key)
         if entry is not None:
             self.cache_hits += 1
+            self.obs.counter("rdx.cache.hit").inc()
             return entry
+        self.obs.counter("rdx.cache.miss").inc()
         stats = yield from self.validate_code(
-            program, maps, ctx_size=ctx_size, principal=principal
+            program, maps, ctx_size=ctx_size, principal=principal,
+            parent_span=parent_span,
         )
         binary = yield from self.jit_compile_code(
-            program, arch=arch, principal=principal
+            program, arch=arch, principal=principal, parent_span=parent_span
         )
         entry = RegistryEntry(program=program, arch=arch, stats=stats, binary=binary)
         self.registry[key] = entry
@@ -211,6 +230,7 @@ class RdxControlPlane:
         program: BpfProgram,
         maps: Sequence[BpfMap] = (),
         principal: Optional[Principal] = None,
+        parent_span: Optional[Span] = None,
     ) -> Generator:
         """``prepare`` with map geometry resolved against one target.
 
@@ -223,7 +243,8 @@ class RdxControlPlane:
                 _geometry_proxy(codeflow, name) for name in program.map_names
             ]
         entry = yield from self.prepare(
-            program, maps, arch=codeflow.manifest.arch, principal=principal
+            program, maps, arch=codeflow.manifest.arch, principal=principal,
+            parent_span=parent_span,
         )
         return entry
 
@@ -237,18 +258,25 @@ class RdxControlPlane:
         maps: Sequence[BpfMap] = (),
         principal: Optional[Principal] = None,
         retain_history: bool = True,
+        parent_span: Optional[Span] = None,
     ) -> Generator:
         """prepare -> link -> deploy; returns the DeployReport."""
         self.policy.check(principal, "deploy", codeflow.sandbox.name)
-        entry = yield from self.prepare_for(
-            codeflow, program, maps=maps, principal=principal
-        )
-        mark = self.sim.now
-        linked = yield from codeflow.link_code(entry.binary)
-        link_us = self.sim.now - mark
-        report = yield from codeflow.deploy_prog(
-            program, linked, hook_name, retain_history=retain_history
-        )
+        with self.obs.span(
+            "rdx.inject", parent=parent_span,
+            program=program.name, target=codeflow.sandbox.name,
+        ) as span:
+            entry = yield from self.prepare_for(
+                codeflow, program, maps=maps, principal=principal,
+                parent_span=span,
+            )
+            mark = self.sim.now
+            linked = yield from codeflow.link_code(entry.binary, parent_span=span)
+            link_us = self.sim.now - mark
+            report = yield from codeflow.deploy_prog(
+                program, linked, hook_name, retain_history=retain_history,
+                parent_span=span,
+            )
         report.link_us = link_us
         report.total_us += link_us
         entry.deploy_count += 1

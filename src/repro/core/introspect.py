@@ -30,6 +30,7 @@ from typing import Generator, Optional
 from repro.core.codeflow import CodeFlow
 from repro.core.xstate import decode_xstate_header
 from repro.mem.layout import unpack_qword
+from repro.obs import telemetry_of
 from repro.sandbox.metadata import MetadataBlock, SLOT_LIVE
 
 
@@ -72,6 +73,7 @@ class RemoteIntrospector:
     def __init__(self, codeflow: CodeFlow):
         self.codeflow = codeflow
         self.sim = codeflow.sim
+        self.obs = telemetry_of(codeflow.sim)
         #: Expected SHA-256 per deployed program name, captured at
         #: deploy time by :meth:`record_expected`.
         self._expected_hash: dict[str, str] = {}
@@ -98,12 +100,26 @@ class RemoteIntrospector:
             finished_us=self.sim.now,
             bytes_read=0,
         )
-        yield from self._audit_hooks(report)
-        yield from self._audit_code(report)
-        yield from self._audit_metadata(report)
-        yield from self._audit_xstate(report)
+        with self.obs.span("rdx.audit", target=report.target):
+            yield from self._audit_hooks(report)
+            yield from self._audit_code(report)
+            yield from self._audit_metadata(report)
+            yield from self._audit_xstate(report)
         report.finished_us = self.sim.now
+        self._observe_audit(report)
         return report
+
+    def _observe_audit(self, report: AuditReport) -> None:
+        """Feed one finished audit into the metrics registry."""
+        self.obs.counter("rdx.audit.runs").inc()
+        self.obs.counter("rdx.audit.bytes_read").inc(report.bytes_read)
+        self.obs.histogram("rdx.audit.duration_us").observe(report.duration_us)
+        for finding in report.findings:
+            self.obs.counter(
+                "rdx.audit.findings",
+                severity=finding.severity,
+                plane=finding.plane,
+            ).inc()
 
     def _read(self, report: AuditReport, addr: int, length: int) -> Generator:
         data = yield from self.codeflow.sync.read(addr, length)

@@ -199,15 +199,36 @@ def execute_plan(
     default accepts when the canary sandbox has not crashed.
     """
     outcome = PlanOutcome(intent_name=plan.intent_name)
-    for step in plan.steps:
-        flows = [fleet.codeflows[name] for name in step.targets]
-        if plan.strategy.kind == "canary" and len(flows) > plan.strategy.canary_count:
-            wave = yield from _canary_wave(
-                control, step, flows, plan.strategy, health_check
+    obs = control.obs
+    with obs.span(
+        "rdx.orchestrate", intent=plan.intent_name,
+        strategy=plan.strategy.kind, waves=len(plan.steps),
+    ) as plan_span:
+        for step in plan.steps:
+            flows = [fleet.codeflows[name] for name in step.targets]
+            with obs.span(
+                "rdx.orchestrate.wave", parent=plan_span,
+                extension=step.extension.name, targets=len(flows),
+            ):
+                if (
+                    plan.strategy.kind == "canary"
+                    and len(flows) > plan.strategy.canary_count
+                ):
+                    wave = yield from _canary_wave(
+                        control, step, flows, plan.strategy, health_check
+                    )
+                else:
+                    wave = yield from _bbu_wave(control, step, flows)
+            obs.counter("rdx.orchestrate.waves").inc()
+            obs.histogram("rdx.orchestrate.wave.window_us").observe(
+                wave.window_us
             )
-        else:
-            wave = yield from _bbu_wave(control, step, flows)
-        outcome.waves.append(wave)
+            if wave.canary_passed is not None:
+                obs.counter(
+                    "rdx.orchestrate.canary",
+                    outcome="passed" if wave.canary_passed else "failed",
+                ).inc()
+            outcome.waves.append(wave)
     return outcome
 
 

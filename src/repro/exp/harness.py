@@ -10,6 +10,7 @@ from repro.core.codeflow import CodeFlow
 from repro.core.control_plane import RdxControlPlane
 from repro.core.api import bootstrap_sandbox
 from repro.net.topology import Cluster, Host
+from repro.obs import Telemetry, telemetry_of
 from repro.sandbox.sandbox import Sandbox
 from repro.sim.core import Simulator
 from repro.sim.trace import TraceRecorder
@@ -30,6 +31,11 @@ class Testbed:
     control: RdxControlPlane
     codeflows: list[CodeFlow]
     trace: TraceRecorder
+
+    @property
+    def obs(self) -> Telemetry:
+        """This testbed's telemetry hub (metrics + spans)."""
+        return telemetry_of(self.sim)
 
     @property
     def host(self) -> Host:

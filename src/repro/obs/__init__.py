@@ -1,0 +1,35 @@
+"""Observability: metrics, span tracing, and exporters.
+
+The telemetry substrate the control plane, RNICs, and auditor report
+into.  One :class:`Telemetry` hub exists per simulator (see
+:func:`telemetry_of`); exporters render its registry as JSON-lines or
+Prometheus text.  ``python -m repro.cli telemetry`` runs a
+representative workload and prints the resulting snapshot.
+"""
+
+from repro.obs.exporters import (
+    from_jsonl,
+    parse_prometheus,
+    prom_name,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, SpanTracer
+from repro.obs.telemetry import Telemetry, telemetry_of
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "telemetry_of",
+    "to_jsonl",
+    "from_jsonl",
+    "to_prometheus",
+    "parse_prometheus",
+    "prom_name",
+]

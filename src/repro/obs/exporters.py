@@ -1,0 +1,167 @@
+"""Registry exporters: JSON-lines (lossless) and Prometheus text.
+
+* :func:`to_jsonl` / :func:`from_jsonl` -- one JSON object per series
+  per line.  Histograms ship their exact aggregates plus the retained
+  sample reservoir, so ``from_jsonl(to_jsonl(reg))`` reconstructs a
+  registry that exports identically (the round-trip tests assert
+  this).
+* :func:`to_prometheus` / :func:`parse_prometheus` -- the conventional
+  ``# TYPE`` + ``name{labels} value`` exposition format.  Histograms
+  are rendered as summaries (quantile series + ``_count``/``_sum``).
+  The parser reads the format back into plain value maps -- enough to
+  verify that both exporters agree on the same registry, and to
+  scrape the CLI's output.
+
+Metric names use dots internally (``rdx.deploy.latency_us``);
+Prometheus names replace every non-alphanumeric rune with ``_``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import TextIO, Union
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[^\s]+)$"
+)
+_PROM_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+#: Quantiles rendered for each histogram-as-summary.
+SUMMARY_QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines
+# ---------------------------------------------------------------------------
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """Serialize every series, one JSON object per line, sorted order."""
+    lines = [
+        json.dumps(row, sort_keys=True, default=float)
+        for row in registry.snapshot()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def from_jsonl(source: Union[str, TextIO]) -> MetricsRegistry:
+    """Rebuild a registry from :func:`to_jsonl` output."""
+    text = source if isinstance(source, str) else source.read()
+    registry = MetricsRegistry()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"jsonl line {lineno}: {err}") from None
+        kind = row.get("type")
+        name = row["name"]
+        labels = row.get("labels", {})
+        if kind == "counter":
+            registry.counter(name, **labels).inc(row["value"])
+        elif kind == "gauge":
+            registry.gauge(name, **labels).set(row["value"])
+        elif kind == "histogram":
+            hist = registry.histogram(name, **labels)
+            _restore_histogram(hist, row)
+        else:
+            raise ValueError(f"jsonl line {lineno}: unknown type {kind!r}")
+    return registry
+
+
+def _restore_histogram(hist: Histogram, row: dict) -> None:
+    if row["count"]:
+        hist.count = int(row["count"])
+        hist.sum = float(row["sum"])
+        hist.min = float(row["min"])
+        hist.max = float(row["max"])
+    hist._samples = [float(v) for v in row.get("samples", [])]
+    hist._stride = int(row.get("stride", 1))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+def prom_name(name: str) -> str:
+    """``rdx.deploy.latency_us`` -> ``rdx_deploy_latency_us``."""
+    return _PROM_NAME_RE.sub("_", name)
+
+
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] = {}) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{prom_name(k)}="{v}"' for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus exposition format."""
+    out: list[str] = []
+    typed: set[str] = set()
+    for row in registry.snapshot():
+        name = prom_name(row["name"])
+        labels = {prom_name(k): v for k, v in row["labels"].items()}
+        if row["type"] == "histogram":
+            if name not in typed:
+                out.append(f"# TYPE {name} summary")
+                typed.add(name)
+            for quantile, pkey in SUMMARY_QUANTILES:
+                out.append(
+                    f"{name}{_prom_labels(labels, {'quantile': str(quantile)})} "
+                    f"{_prom_value(row[pkey])}"
+                )
+            out.append(f"{name}_count{_prom_labels(labels)} {row['count']}")
+            out.append(
+                f"{name}_sum{_prom_labels(labels)} {_prom_value(row['sum'])}"
+            )
+        else:
+            if name not in typed:
+                out.append(f"# TYPE {name} {row['type']}")
+                typed.add(name)
+            out.append(
+                f"{name}{_prom_labels(labels)} {_prom_value(row['value'])}"
+            )
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text into {(name, sorted labels): value}.
+
+    Lossy by design (the text format carries no raw samples); used to
+    check that both exporters present the same registry and to consume
+    the CLI's ``--format prom`` output programmatically.
+    """
+    values: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _PROM_LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"prometheus line {lineno}: cannot parse {line!r}")
+        labels = tuple(
+            sorted(
+                (m.group("key"), m.group("value"))
+                for m in _PROM_LABEL_RE.finditer(match.group("labels") or "")
+            )
+        )
+        values[(match.group("name"), labels)] = float(match.group("value"))
+    return values

@@ -1,0 +1,170 @@
+"""Span-based tracing for the CodeFlow op pipeline.
+
+A :class:`Span` is one timed operation (``rdx.validate``,
+``rdx.deploy``, ...) with free-form attributes and an optional parent,
+so a ``rdx_broadcast`` fan-out renders as one parent span with a child
+span per target.
+
+The tracer is **built on** :class:`repro.sim.trace.TraceRecorder`
+rather than replacing it: opening a span records a ``<name>.start``
+event and closing it records ``<name>.end`` (both carrying
+``span_id``/``parent_id``), so every existing recorder tool --
+``filter``, ``durations``, experiment post-processing -- keeps working
+on span data unchanged.  On top of that, each finished span feeds the
+metrics registry: a span named ``rdx.deploy`` observes the
+``rdx.deploy.latency_us`` histogram automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.core import Simulator
+    from repro.sim.trace import TraceRecorder
+
+_span_ids = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One timed operation; close with ``finish()`` or a ``with`` block."""
+
+    name: str
+    span_id: int
+    start_us: float
+    parent_id: Optional[int] = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    end_us: Optional[float] = None
+    status: str = "ok"
+    _tracer: Optional["SpanTracer"] = field(default=None, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_us is not None
+
+    @property
+    def duration_us(self) -> float:
+        if self.end_us is None:
+            raise ValueError(f"span {self.name!r} not finished")
+        return self.end_us - self.start_us
+
+    def finish(self, **attrs: Any) -> "Span":
+        assert self._tracer is not None
+        self._tracer.finish(self, **attrs)
+        return self
+
+    # -- context-manager sugar (works inside sim generators: the body
+    # between __enter__ and __exit__ may span many yields, and the
+    # duration is whatever simulated time elapsed in between) --------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if not self.finished:
+            if exc is not None:
+                self.status = "error"
+                self.finish(error=str(exc))
+            else:
+                self.finish()
+
+
+class SpanTracer:
+    """Creates spans against one simulator clock.
+
+    ``recorder`` receives the start/end trace events (backward-compat
+    surface); ``registry`` receives the per-span-name latency
+    histograms.  Either may be None to opt out.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        recorder: Optional["TraceRecorder"] = None,
+        registry: Optional["MetricsRegistry"] = None,
+        keep_finished: int = 10_000,
+    ):
+        self.sim = sim
+        self.recorder = recorder
+        self.registry = registry
+        #: Finished spans, oldest first (bounded; see ``keep_finished``).
+        self.finished_spans: list[Span] = []
+        self.keep_finished = keep_finished
+        #: Spans evicted from ``finished_spans`` by the bound.
+        self.evicted = 0
+        self.started = 0
+
+    def start(
+        self, name: str, parent: Optional[Span] = None, **attrs: Any
+    ) -> Span:
+        span = Span(
+            name=name,
+            span_id=next(_span_ids),
+            start_us=self.sim.now,
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=dict(attrs),
+            _tracer=self,
+        )
+        self.started += 1
+        if self.recorder is not None:
+            self.recorder.record(
+                self.sim.now,
+                f"{name}.start",
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                **attrs,
+            )
+        return span
+
+    #: ``span`` is the idiomatic entry point: ``with tracer.span(...)``.
+    span = start
+
+    def finish(self, span: Span, **attrs: Any) -> Span:
+        if span.finished:
+            raise ValueError(f"span {span.name!r} already finished")
+        span.attrs.update(attrs)
+        span.end_us = self.sim.now
+        if self.recorder is not None:
+            self.recorder.record(
+                self.sim.now,
+                f"{span.name}.end",
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                duration_us=span.duration_us,
+                status=span.status,
+                **attrs,
+            )
+        if self.registry is not None:
+            self.registry.histogram(f"{span.name}.latency_us").observe(
+                span.duration_us
+            )
+        self.finished_spans.append(span)
+        if len(self.finished_spans) > self.keep_finished:
+            overflow = len(self.finished_spans) - self.keep_finished
+            del self.finished_spans[:overflow]
+            self.evicted += overflow
+        return span
+
+    def wrap(self, generator, name: str, parent: Optional[Span] = None, **attrs):
+        """Run a sim process generator inside a span of its own.
+
+        Usable anywhere a generator is expected (``sim.spawn``,
+        ``yield from``); the span closes when the wrapped process
+        returns or raises.
+        """
+        span = self.start(name, parent=parent, **attrs)
+        with span:
+            result = yield from generator
+        return result
+
+    # -- hierarchy queries -------------------------------------------------
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.finished_spans if s.parent_id == span.span_id]
+
+    def by_name(self, name: str) -> list[Span]:
+        return [s for s in self.finished_spans if s.name == name]

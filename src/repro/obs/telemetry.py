@@ -1,0 +1,74 @@
+"""The per-simulation telemetry hub.
+
+One :class:`Telemetry` bundles the three observability surfaces --
+metrics registry, span tracer, and the trace recorder the tracer
+writes through -- so instrumented components need a single handle.
+
+Components do not construct it directly; they call
+:func:`telemetry_of`, which lazily attaches one hub per
+:class:`~repro.sim.core.Simulator`.  That gives every experiment and
+test an isolated, deterministic telemetry scope for free (a fresh sim
+means fresh metrics), with no global mutable state to reset between
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, SpanTracer
+from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+#: Attribute name used to cache the hub on the simulator instance.
+_SIM_ATTR = "_rdx_telemetry"
+
+
+class Telemetry:
+    """Metrics + spans + trace recorder for one simulation."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        recorder: Optional[TraceRecorder] = None,
+    ):
+        self.sim = sim
+        self.registry = MetricsRegistry()
+        #: Span events land here; bounded so background workloads
+        #: cannot grow it without limit (drop-oldest, counted).
+        self.recorder = recorder or TraceRecorder(max_events=100_000)
+        self.tracer = SpanTracer(sim, self.recorder, self.registry)
+
+    # -- metric passthroughs ----------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self.registry.histogram(name, **labels)
+
+    # -- span passthroughs -------------------------------------------------
+
+    def span(self, name: str, parent: Optional[Span] = None, **attrs: Any) -> Span:
+        return self.tracer.span(name, parent=parent, **attrs)
+
+    def wrap(self, generator, name: str, parent: Optional[Span] = None, **attrs):
+        return self.tracer.wrap(generator, name, parent=parent, **attrs)
+
+    def snapshot(self) -> list[dict]:
+        return self.registry.snapshot()
+
+
+def telemetry_of(sim: "Simulator") -> Telemetry:
+    """The simulator's telemetry hub, created on first use."""
+    hub = getattr(sim, _SIM_ATTR, None)
+    if hub is None:
+        hub = Telemetry(sim)
+        setattr(sim, _SIM_ATTR, hub)
+    return hub

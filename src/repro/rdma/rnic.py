@@ -20,6 +20,7 @@ from repro import params
 from repro.errors import ProtectionError, RdmaError
 from repro.mem.layout import pack_qword, unpack_qword
 from repro.net.topology import Host
+from repro.obs import telemetry_of
 from repro.rdma.cq import Completion, WcStatus
 from repro.rdma.mr import AccessFlags
 from repro.rdma.qp import QpState, QueuePair, WorkRequest, WrOpcode
@@ -43,6 +44,17 @@ class Rnic:
         self.wrs_processed = 0
         self.bytes_dma = 0
         host.nic = self
+        # Metric handles are resolved once and cached: the WR path is
+        # the simulator's hottest loop, so per-op registry lookups are
+        # kept off it.
+        obs = telemetry_of(self.sim)
+        self._m_verbs = {
+            opcode: obs.counter("rdma.verbs", rnic=self.name, op=opcode.value)
+            for opcode in WrOpcode
+        }
+        self._m_bytes = obs.counter("rdma.bytes_dma", rnic=self.name)
+        self._m_cq_depth = obs.histogram("rdma.cq.depth")
+        self._m_errors = obs.counter("rdma.wr_errors", rnic=self.name)
 
     # -- submission ------------------------------------------------------
 
@@ -55,6 +67,7 @@ class Rnic:
     def _process(self, qp: QueuePair, wr: WorkRequest, done: Event):
         grant = self._pipeline.request()
         yield grant
+        bytes_before = self.bytes_dma
         try:
             if qp.state is QpState.ERROR:
                 completion = Completion(
@@ -69,7 +82,12 @@ class Rnic:
             self._pipeline.release(grant)
         qp.completed += 1
         self.wrs_processed += 1
+        self._m_verbs[wr.opcode].inc()
+        self._m_bytes.inc(self.bytes_dma - bytes_before)
+        if completion.status is not WcStatus.SUCCESS:
+            self._m_errors.inc()
         qp.cq.push(completion)
+        self._m_cq_depth.observe(len(qp.cq))
         done.succeed(completion)
 
     # -- execution ---------------------------------------------------------

@@ -2,11 +2,13 @@
 
 Experiments record :class:`TraceEvent` rows (time, category, payload)
 into a :class:`TraceRecorder`; the experiment harness then filters and
-aggregates them into the figures' series.
+aggregates them into the figures' series.  The span tracer in
+:mod:`repro.obs.spans` is layered on top of the same recorder.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -26,19 +28,36 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Append-only event log with simple query helpers."""
+    """Append-only event log with simple query helpers.
 
-    def __init__(self, enabled: bool = True):
+    ``max_events`` bounds memory for long-running mesh/stress
+    workloads: when set, the oldest events are dropped to make room
+    and :attr:`dropped` counts how many were lost.  Unbounded by
+    default (experiments that post-process every event stay exact).
+    """
+
+    def __init__(self, enabled: bool = True, max_events: Optional[int] = None):
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.enabled = enabled
-        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        self.events: deque[TraceEvent] = deque(maxlen=max_events)
+        #: Events evicted by the ``max_events`` bound (drop-oldest).
+        self.dropped = 0
 
     def record(self, time_us: float, category: str, **data: Any) -> None:
         """Append one event (no-op when tracing is disabled)."""
         if self.enabled:
+            if (
+                self.max_events is not None
+                and len(self.events) == self.max_events
+            ):
+                self.dropped += 1  # deque(maxlen) evicts the oldest
             self.events.append(TraceEvent(time_us, category, data))
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.events)
@@ -59,17 +78,21 @@ class TraceRecorder:
     def durations(self, start_category: str, end_category: str, key: str) -> list[float]:
         """Pair start/end events by ``data[key]`` and return durations.
 
-        Unmatched starts (no end seen) are ignored; an end without a
+        Re-entrant operations are handled by keeping a *stack* of open
+        starts per key: an end event pairs with the most recent
+        unmatched start of the same key (LIFO, matching nested or
+        overlapping same-key ops without discarding the earlier start).
+        Starts that never see an end are ignored; an end without a
         start is ignored as well.  Useful for e.g. injection latency:
         pair ``agent.inject.start`` / ``agent.inject.done`` on ``ext_id``.
         """
-        starts: dict[Any, float] = {}
+        starts: dict[Any, list[float]] = {}
         durations: list[float] = []
         for event in self.events:
             if event.category == start_category:
-                starts[event.data.get(key)] = event.time_us
+                starts.setdefault(event.data.get(key), []).append(event.time_us)
             elif event.category == end_category:
-                begun = starts.pop(event.data.get(key), None)
-                if begun is not None:
-                    durations.append(event.time_us - begun)
+                open_starts = starts.get(event.data.get(key))
+                if open_starts:
+                    durations.append(event.time_us - open_starts.pop())
         return durations

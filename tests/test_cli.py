@@ -27,6 +27,28 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["nonsense"])
 
+    def test_telemetry_table(self, capsys):
+        assert main(["telemetry", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "rdx.deploy.latency_us" in out
+        assert "rdx.cache.hit" in out
+        assert "rdx.cache.miss" in out
+        assert "rdx.audit.findings" in out
+        assert "p99" in out
+
+    def test_telemetry_jsonl(self, capsys):
+        assert main(["telemetry", "--quick", "--format", "jsonl"]) == 0
+        out = capsys.readouterr().out
+        import json
+        rows = [json.loads(line) for line in out.strip().splitlines()]
+        assert any(r["name"] == "rdx.deploy.latency_us" for r in rows)
+
+    def test_telemetry_prom(self, capsys):
+        assert main(["telemetry", "--quick", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE rdx_deploy_latency_us summary" in out
+        assert 'rdx_deploy_latency_us{quantile="0.99"}' in out
+
     def test_every_experiment_registered(self):
         assert set(EXPERIMENTS) == {
             "fig2a", "fig2b", "fig2c", "fig4a", "fig4b", "fig5",

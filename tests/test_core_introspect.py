@@ -136,3 +136,36 @@ class TestContinuousAudit:
         assert all(r.clean for r in reports[:-1])
         # It stopped early rather than auditing the full duration.
         assert len(reports) < 20
+
+    def test_clean_run_audits_for_full_duration(self, audited):
+        testbed, introspector = audited
+        start = testbed.sim.now
+        reports = testbed.sim.run_process(
+            continuous_audit(introspector, interval_us=10_000,
+                             duration_us=100_000)
+        )
+        assert all(r.clean for r in reports)
+        # One audit per interval, give or take the audit's own duration
+        # eating into the window.
+        assert 5 <= len(reports) <= 10
+        assert testbed.sim.now - start >= 100_000
+
+    def test_reports_are_ordered_in_time(self, audited):
+        testbed, introspector = audited
+        reports = testbed.sim.run_process(
+            continuous_audit(introspector, interval_us=20_000,
+                             duration_us=100_000)
+        )
+        ends = [r.finished_us for r in reports]
+        assert ends == sorted(ends)
+        assert all(r.bytes_read > 0 for r in reports)
+
+    def test_audit_loop_feeds_metrics(self, audited):
+        testbed, introspector = audited
+        reports = testbed.sim.run_process(
+            continuous_audit(introspector, interval_us=20_000,
+                             duration_us=100_000)
+        )
+        registry = testbed.obs.registry
+        assert registry.counter("rdx.audit.runs").value == len(reports)
+        assert registry.get("rdx.audit.duration_us").count == len(reports)

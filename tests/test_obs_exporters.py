@@ -1,0 +1,109 @@
+"""Tests for the JSON-lines and Prometheus exporters."""
+
+import pytest
+
+from repro.obs.exporters import (
+    from_jsonl,
+    parse_prometheus,
+    prom_name,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("rdx.cache.hit").inc(7)
+    reg.counter("rdma.verbs", op="write", rnic="n0").inc(42)
+    reg.gauge("rdx.live", target="node0").set(3)
+    hist = reg.histogram("rdx.deploy.latency_us")
+    for value in (10.0, 20.0, 30.0, 40.0, 1000.0):
+        hist.observe(value)
+    return reg
+
+
+class TestJsonl:
+    def test_round_trip_is_lossless(self, registry):
+        text = to_jsonl(registry)
+        rebuilt = from_jsonl(text)
+        assert to_jsonl(rebuilt) == text
+
+    def test_round_trip_preserves_percentiles(self, registry):
+        rebuilt = from_jsonl(to_jsonl(registry))
+        original = registry.get("rdx.deploy.latency_us")
+        copy = rebuilt.get("rdx.deploy.latency_us")
+        assert copy.summary() == original.summary()
+        # Further observations keep working on the rebuilt histogram.
+        copy.observe(5.0)
+        assert copy.count == original.count + 1
+
+    def test_decimated_histogram_round_trips(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        hist.max_samples = 16
+        for value in range(1000):
+            hist.observe(value)
+        rebuilt = from_jsonl(to_jsonl(reg))
+        assert to_jsonl(rebuilt) == to_jsonl(reg)
+        assert rebuilt.get("h").count == 1000
+
+    def test_empty_registry(self):
+        assert to_jsonl(MetricsRegistry()) == ""
+        assert len(from_jsonl("")) == 0
+
+    def test_bad_line_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 1"):
+            from_jsonl("not json")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            from_jsonl('{"type": "meter", "name": "x", "labels": {}}')
+
+
+class TestPrometheus:
+    def test_name_sanitization(self):
+        assert prom_name("rdx.deploy.latency_us") == "rdx_deploy_latency_us"
+        assert prom_name("weird-name.1") == "weird_name_1"
+
+    def test_counter_and_gauge_lines(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE rdx_cache_hit counter" in text
+        assert "rdx_cache_hit 7" in text
+        assert 'rdma_verbs{op="write",rnic="n0"} 42' in text
+        assert '# TYPE rdx_live gauge' in text
+        assert 'rdx_live{target="node0"} 3' in text
+
+    def test_histogram_rendered_as_summary(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE rdx_deploy_latency_us summary" in text
+        assert 'rdx_deploy_latency_us{quantile="0.5"}' in text
+        assert "rdx_deploy_latency_us_count 5" in text
+        assert "rdx_deploy_latency_us_sum 1100" in text
+
+    def test_parse_round_trips_values(self, registry):
+        values = parse_prometheus(to_prometheus(registry))
+        assert values[("rdx_cache_hit", ())] == 7
+        assert values[
+            ("rdma_verbs", (("op", "write"), ("rnic", "n0")))
+        ] == 42
+        hist = registry.get("rdx.deploy.latency_us")
+        assert values[
+            ("rdx_deploy_latency_us", (("quantile", "0.5"),))
+        ] == hist.percentile(50)
+        assert values[("rdx_deploy_latency_us_count", ())] == 5
+
+    def test_exporters_agree_on_the_same_registry(self, registry):
+        """jsonl and prometheus must present identical values."""
+        prom = parse_prometheus(to_prometheus(registry))
+        rebuilt = from_jsonl(to_jsonl(registry))
+        assert parse_prometheus(to_prometheus(rebuilt)) == prom
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_prometheus("!!! not exposition")
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}

@@ -1,0 +1,95 @@
+"""Tests for the TraceRecorder: bounding, pairing, filtering."""
+
+import pytest
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestRecord:
+    def test_records_in_order(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a", x=1)
+        trace.record(2.0, "b")
+        assert [e.category for e in trace.events] == ["a", "b"]
+        assert trace.events[0].data == {"x": 1}
+        assert len(trace) == 2
+
+    def test_disabled_recorder_is_noop(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "a")
+        assert len(trace) == 0
+
+    def test_filter_by_category_prefix(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "rdx.deploy")
+        trace.record(2.0, "rdx.deploy.end")
+        trace.record(3.0, "agent.verify")
+        assert len(list(trace.filter("rdx.deploy"))) == 2
+        assert len(list(trace.filter(predicate=lambda e: e.time_us > 2))) == 1
+
+
+class TestMaxEvents:
+    def test_drop_oldest_and_count(self):
+        trace = TraceRecorder(max_events=3)
+        for i in range(5):
+            trace.record(float(i), "ev", i=i)
+        assert len(trace) == 3
+        assert trace.dropped == 2
+        # Oldest were dropped: 0 and 1 are gone.
+        assert [e.data["i"] for e in trace.events] == [2, 3, 4]
+
+    def test_unbounded_by_default(self):
+        trace = TraceRecorder()
+        for i in range(10_000):
+            trace.record(float(i), "ev")
+        assert len(trace) == 10_000
+        assert trace.dropped == 0
+
+    def test_clear_resets_dropped(self):
+        trace = TraceRecorder(max_events=1)
+        trace.record(1.0, "a")
+        trace.record(2.0, "b")
+        assert trace.dropped == 1
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+
+
+class TestDurations:
+    def test_basic_pairing(self):
+        trace = TraceRecorder()
+        trace.record(10.0, "op.start", ext_id=1)
+        trace.record(25.0, "op.end", ext_id=1)
+        assert trace.durations("op.start", "op.end", "ext_id") == [15.0]
+
+    def test_interleaved_keys(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "op.start", ext_id="a")
+        trace.record(5.0, "op.start", ext_id="b")
+        trace.record(7.0, "op.end", ext_id="a")
+        trace.record(20.0, "op.end", ext_id="b")
+        assert trace.durations("op.start", "op.end", "ext_id") == [7.0, 15.0]
+
+    def test_reentrant_same_key_pairs_lifo(self):
+        """Nested ops on one key must not lose the outer start.
+
+        This was a real bug: a dict of single starts silently
+        overwrote the outer start, so the outer duration was wrong
+        and one pairing was lost entirely.
+        """
+        trace = TraceRecorder()
+        trace.record(0.0, "op.start", ext_id=1)   # outer
+        trace.record(10.0, "op.start", ext_id=1)  # nested
+        trace.record(12.0, "op.end", ext_id=1)    # closes nested
+        trace.record(30.0, "op.end", ext_id=1)    # closes outer
+        assert trace.durations("op.start", "op.end", "ext_id") == [2.0, 30.0]
+
+    def test_unmatched_events_ignored(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "op.start", ext_id=1)   # never ends
+        trace.record(5.0, "op.end", ext_id=2)     # never started
+        assert trace.durations("op.start", "op.end", "ext_id") == []
