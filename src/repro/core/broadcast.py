@@ -131,19 +131,29 @@ class CodeFlowGroup:
                     )
                 return report
 
-            deploys = [
-                self.sim.spawn(deploy_one(cf, prog), name=f"deploy:{prog.name}")
-                for cf, prog in zip(self.codeflows, programs)
-            ]
-            done = yield self.sim.all_of(deploys)
-            result.reports = list(done)
-            result.deploys_done_us = self.sim.now
-
-            # Phase 3: lower bubbles in dependency order (sequential: a
-            # caller's bubble only drops once its callees run new logic).
-            if use_bbu:
-                for index in order:
-                    yield from self._set_bubble(self.codeflows[index], 0)
+            # Phases 2-3 are exception-safe: whatever happens during
+            # the deploy fan-out, every raised bubble is lowered before
+            # an error escapes.  A bubble left raised would buffer the
+            # target's requests forever -- the §2.2 agent-lockout
+            # pathology BBU exists to avoid.
+            try:
+                deploys = [
+                    self.sim.spawn(
+                        deploy_one(cf, prog), name=f"deploy:{prog.name}"
+                    )
+                    for cf, prog in zip(self.codeflows, programs)
+                ]
+                done = yield self.sim.all_of(deploys)
+                result.reports = list(done)
+                result.deploys_done_us = self.sim.now
+            finally:
+                # Phase 3: lower bubbles in dependency order
+                # (sequential: a caller's bubble only drops once its
+                # callees run new logic).  Runs on the failure path
+                # too, so no target is left buffering.
+                if use_bbu:
+                    for index in order:
+                        yield from self._set_bubble(self.codeflows[index], 0)
         result.bubble_lowered_us = self.sim.now
         result.bubble_window_us = result.bubble_lowered_us - result.bubble_raised_us
         # BBU buffering cost proxy: how long every target held requests.

@@ -127,6 +127,38 @@ class TestBroadcast:
         assert all(not sb.bubble_active() for sb in bed.sandboxes)
 
 
+class TestBubbleLeak:
+    def test_failed_deploy_still_lowers_every_bubble(self, testbed2):
+        """Regression: a deploy failure mid-broadcast must not strand
+        targets behind raised bubble flags (§2.2 agent lockout)."""
+        from repro.core.control_plane import RdxControlPlane
+
+        bed = testbed2
+        original = RdxControlPlane.inject
+
+        def failing(self, codeflow, program, hook_name, **kwargs):
+            if codeflow is bed.codeflows[1]:
+                raise DeployError("target 1 deploy blew up")
+            report = yield from original(
+                self, codeflow, program, hook_name, **kwargs
+            )
+            return report
+
+        RdxControlPlane.inject = failing
+        try:
+            process = bed.sim.spawn(
+                rdx_broadcast(bed.codeflows, programs_for(bed), "ingress")
+            )
+            bed.sim.run()
+        finally:
+            RdxControlPlane.inject = original
+        # The failure is surfaced, not swallowed ...
+        with pytest.raises(DeployError, match="blew up"):
+            _ = process.value
+        # ... and no bubble flag stays raised on any target.
+        assert all(not sb.bubble_active() for sb in bed.sandboxes)
+
+
 class TestBbuConsistencyInvariant:
     def test_no_request_observes_mixed_logic(self):
         """The §4 guarantee: with BBU, a request that checks the bubble
