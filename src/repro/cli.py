@@ -23,6 +23,7 @@ from typing import Callable
 
 from repro.exp import (
     format_table,
+    run_fault_campaign,
     run_fig2a,
     run_fig2b,
     run_fig2c,
@@ -216,6 +217,30 @@ def run_telemetry_workload(quick: bool = False):
     raw = bed.host.memory.read(record.code_addr + 16, 1)
     bed.host.memory.write(record.code_addr + 16, bytes([raw[0] ^ 0xFF]))
     report = bed.sim.run_process(introspector.audit())
+
+    # Reliability layer: a transient fault absorbed by the retry
+    # policy (rdx.retry.*), then a torn image write that fails the
+    # verify readback and aborts the broadcast (rdx.broadcast.abort).
+    from repro.core.faults import FaultInjector, FaultKind
+    from repro.errors import BroadcastAborted
+
+    injector = FaultInjector(bed.codeflows[-1], seed=5)
+    injector.arm(FaultKind.TRANSIENT)
+    injector.attach()
+    patch = make_stress_program(700, seed=13, name="rollout")
+    bed.sim.run_process(
+        group.broadcast([patch] * len(bed.codeflows), "egress")
+    )
+    injector.arm(FaultKind.TORN_WRITE)
+    torn = make_stress_program(800, seed=17, name="rollout")
+    try:
+        bed.sim.run_process(
+            group.broadcast([torn] * len(bed.codeflows), "egress")
+        )
+    except BroadcastAborted:
+        pass  # expected: succeeded targets rolled back to `patch`
+    finally:
+        injector.detach()
     return bed, report
 
 
@@ -260,6 +285,41 @@ def _telemetry(quick: bool, fmt: str = "table") -> str:
     return "\n".join(parts)
 
 
+def _faults(
+    rounds: int, seed: int, nodes: int, allow_partial: bool
+) -> str:
+    result = run_fault_campaign(
+        n_hosts=nodes, rounds=rounds, seed=seed, allow_partial=allow_partial
+    )
+    rows = [
+        (
+            r.index,
+            r.fault,
+            r.target,
+            "degraded" if r.degraded else
+            ("committed" if r.committed else "ABORTED"),
+            r.retries,
+            r.abort_us,
+            "yes" if r.bubbles_clear else "NO",
+        )
+        for r in result.rounds
+    ]
+    note = (
+        f"{result.committed} committed, {result.aborts} aborted, "
+        f"{result.degraded} degraded | {result.faults_injected} faults "
+        f"injected, {result.retries_total} transport retries, "
+        f"{result.stranded} stranded-bubble rounds (must be 0)"
+    )
+    return format_table(
+        f"Fault campaign -- {result.n_hosts} nodes, seed {result.seed}, "
+        f"allow_partial={result.allow_partial}",
+        ["round", "fault", "target", "outcome", "retries", "abort (us)",
+         "bubbles clear"],
+        rows,
+        note=note,
+    )
+
+
 EXPERIMENTS: dict[str, Callable[[bool], str]] = {
     "fig2a": _fig2a,
     "fig2b": _fig2b,
@@ -280,8 +340,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "telemetry"],
-        help="which figure/table to regenerate (or 'telemetry')",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "telemetry", "faults"],
+        help="which figure/table to regenerate (or 'telemetry' / 'faults')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps, faster run"
@@ -292,11 +352,27 @@ def main(argv=None) -> int:
         default="table",
         help="output format for the telemetry snapshot",
     )
+    parser.add_argument(
+        "--rounds", type=int, default=8,
+        help="faults: number of faulted broadcast rounds",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="faults: RNG seed for the fault schedule",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=3,
+        help="faults: number of target hosts",
+    )
+    parser.add_argument(
+        "--allow-partial", action="store_true",
+        help="faults: quorum mode (degrade instead of abort)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         try:
-            for name in sorted(EXPERIMENTS) + ["telemetry"]:
+            for name in sorted(EXPERIMENTS) + ["faults", "telemetry"]:
                 print(name)
         except BrokenPipeError:  # e.g. `repro list | head`
             pass
@@ -304,6 +380,17 @@ def main(argv=None) -> int:
 
     if args.experiment == "telemetry":
         print(_telemetry(args.quick, args.format))
+        return 0
+
+    if args.experiment == "faults":
+        print(
+            _faults(
+                rounds=4 if args.quick else args.rounds,
+                seed=args.seed,
+                nodes=args.nodes,
+                allow_partial=args.allow_partial,
+            )
+        )
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -37,7 +37,8 @@ from repro.core.orchestrator import (
 )
 from repro.core.qos import QosScheduler, TenantQuota
 from repro.core.xstate import XStateHandle, XStateHeader, XStateSpec, decode_xstate_header
-from repro.core.broadcast import BroadcastResult, CodeFlowGroup
+from repro.core.broadcast import BroadcastResult, CodeFlowGroup, TargetOutcome
+from repro.core.retry import RetryPolicy
 from repro.core.rollback import RollbackManager
 from repro.core.migration import MigrationManager
 from repro.core.security import Principal, Role, SecurityPolicy
@@ -75,8 +76,10 @@ __all__ = [
     "MigrationManager",
     "Principal",
     "RdxControlPlane",
+    "RetryPolicy",
     "Role",
     "RollbackManager",
+    "TargetOutcome",
     "SecurityPolicy",
     "XStateHandle",
     "XStateHeader",

@@ -181,10 +181,25 @@ def rdx_broadcast(
     hook_name: str,
     dependency_order: Optional[Sequence[int]] = None,
     use_bbu: bool = True,
+    verify: bool = True,
+    allow_partial: bool = False,
+    deadline_us: Optional[float] = None,
 ) -> Generator:
-    """Transactionally broadcast n programs to n nodes (Table 1)."""
+    """Transactionally broadcast n programs to n nodes (Table 1).
+
+    All-or-nothing by default: a failed target triggers rollback of the
+    succeeded ones and raises
+    :class:`~repro.errors.BroadcastAborted`; ``allow_partial=True``
+    keeps survivors live and marks the result ``degraded`` instead.
+    """
     group = CodeFlowGroup(codeflow_group)
     result = yield from group.broadcast(
-        ext_progs, hook_name, dependency_order=dependency_order, use_bbu=use_bbu
+        ext_progs,
+        hook_name,
+        dependency_order=dependency_order,
+        use_bbu=use_bbu,
+        verify=verify,
+        allow_partial=allow_partial,
+        deadline_us=deadline_us,
     )
     return result

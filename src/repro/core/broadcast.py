@@ -13,17 +13,57 @@ Because RDX injection is microseconds, the bubble -- and therefore the
 request buffer -- stays tiny; the same scheme under an agent baseline
 would need to buffer ~rate x window requests (§2.2 Obs 2's 1M-request
 example), which is the ablation ``bench_ablate_bbu`` quantifies.
+
+The transaction has an **abort path**: every target's deploy leg runs
+under its own deadline and collects its own outcome; if any leg fails
+(deploy error, CRC-failed verify readback, crashed/partitioned target,
+deadline expiry) the targets that *did* succeed are rolled back to
+their prior image -- all-or-nothing visibility -- and
+:class:`~repro.errors.BroadcastAborted` is raised *after* every
+reachable bubble has been lowered.  ``allow_partial=True`` opts into
+quorum mode instead: surviving targets keep the new logic and the
+result is marked ``degraded``.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Generator, Optional, Sequence
 
-from repro.errors import ConsistencyError, DeployError
+from repro import params
+from repro.errors import (
+    BroadcastAborted,
+    ConsistencyError,
+    DeadlineExceeded,
+    DeployError,
+    ReproError,
+)
 from repro.ebpf.program import BpfProgram
 from repro.mem.layout import pack_qword
 from repro.core.codeflow import CodeFlow
+from repro.core.rollback import RollbackManager
+
+
+@dataclass
+class TargetOutcome:
+    """What happened to one target during a broadcast."""
+
+    target: str
+    program: str
+    ok: bool = False
+    #: DeployReport when the leg succeeded.
+    report: object = None
+    error: str = ""
+    error_kind: str = ""
+    #: Abort-path disposition for a leg that had succeeded.
+    rolled_back: bool = False
+    detached: bool = False
+
+    def fail(self, err: BaseException) -> None:
+        self.ok = False
+        self.error = str(err)
+        self.error_kind = type(err).__name__
 
 
 @dataclass
@@ -38,10 +78,22 @@ class BroadcastResult:
     #: The consistency-critical window during which requests buffer.
     bubble_window_us: float = 0.0
     reports: list = field(default_factory=list)
+    #: Per-target dispositions, one per group member.
+    outcomes: list[TargetOutcome] = field(default_factory=list)
+    #: True when the transaction failed and succeeded legs were undone.
+    aborted: bool = False
+    #: True when ``allow_partial`` kept a partially-updated group live.
+    degraded: bool = False
+    #: Time spent undoing succeeded legs on the abort path.
+    abort_us: float = 0.0
 
     @property
     def total_us(self) -> float:
         return self.bubble_lowered_us - self.started_us
+
+    @property
+    def failed_targets(self) -> list[TargetOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
 
 
 class CodeFlowGroup:
@@ -72,6 +124,9 @@ class CodeFlowGroup:
         hook_name: str,
         dependency_order: Optional[Sequence[int]] = None,
         use_bbu: bool = True,
+        verify: bool = True,
+        allow_partial: bool = False,
+        deadline_us: Optional[float] = None,
     ) -> Generator:
         """Deploy ``programs[i]`` to ``codeflows[i]`` transactionally.
 
@@ -79,6 +134,18 @@ class CodeFlowGroup:
         must be lowered (callees before callers); default is reverse
         group order.  Programs must already be prepared (validated +
         compiled) or preparable; linking happens per target.
+
+        ``verify`` reads every installed image back and checks its
+        trailing CRC, so silent payload corruption (torn or bit-flipped
+        writes) fails the leg instead of crashing the data path later.
+        ``deadline_us`` bounds each target's leg (default
+        :data:`repro.params.BROADCAST_TARGET_DEADLINE_US`); a crashed
+        target exhausts its transport retries or hits the deadline,
+        either way becoming a per-target failure.  On any failure the
+        default is transactional abort (succeeded legs rolled back,
+        :class:`~repro.errors.BroadcastAborted` raised after bubbles
+        drop); ``allow_partial=True`` keeps surviving targets live and
+        marks the result ``degraded``.
         """
         if len(programs) != len(self.codeflows):
             raise DeployError(
@@ -88,10 +155,16 @@ class CodeFlowGroup:
         order = list(dependency_order or range(len(self.codeflows) - 1, -1, -1))
         if sorted(order) != list(range(len(self.codeflows))):
             raise ConsistencyError("dependency_order must permute the group")
+        if deadline_us is None:
+            deadline_us = params.BROADCAST_TARGET_DEADLINE_US
 
         result = BroadcastResult(
             group_size=len(self.codeflows), started_us=self.sim.now
         )
+        result.outcomes = [
+            TargetOutcome(target=cf.sandbox.name, program=prog.name)
+            for cf, prog in zip(self.codeflows, programs)
+        ]
 
         obs = self.control_plane.obs
         obs.counter("rdx.broadcast.count").inc()
@@ -109,27 +182,21 @@ class CodeFlowGroup:
                     codeflow, program, parent_span=span
                 )
 
-            # Phase 1: raise every bubble in parallel.
+            # Phase 1: raise every bubble in parallel.  A target whose
+            # bubble cannot rise (crashed, partitioned) fails its leg
+            # here and is skipped by phase 2.
             if use_bbu:
                 raises = [
-                    self.sim.spawn(self._set_bubble(cf, 1), name=f"bubble+{i}")
-                    for i, cf in enumerate(self.codeflows)
+                    self.sim.spawn(
+                        self._guarded_bubble(cf, outcome, obs),
+                        name=f"bubble+{i}",
+                    )
+                    for i, (cf, outcome) in enumerate(
+                        zip(self.codeflows, result.outcomes)
+                    )
                 ]
                 yield self.sim.all_of(raises)
             result.bubble_raised_us = self.sim.now
-
-            # Phase 2: deploy everywhere in parallel (the write set).
-            # Each target's deploy runs inside its own child span, so
-            # the fan-out renders as one parent with per-target legs.
-            def deploy_one(cf, prog):
-                with obs.span(
-                    "rdx.broadcast.target", parent=span,
-                    target=cf.sandbox.name, program=prog.name,
-                ) as child:
-                    report = yield from self.control_plane.inject(
-                        cf, prog, hook_name, parent_span=child
-                    )
-                return report
 
             # Phases 2-3 are exception-safe: whatever happens during
             # the deploy fan-out, every raised bubble is lowered before
@@ -139,25 +206,186 @@ class CodeFlowGroup:
             try:
                 deploys = [
                     self.sim.spawn(
-                        deploy_one(cf, prog), name=f"deploy:{prog.name}"
+                        self._target_leg(
+                            cf, prog, outcome, hook_name, span, verify,
+                            deadline_us, obs,
+                        ),
+                        name=f"deploy:{outcome.target}",
                     )
-                    for cf, prog in zip(self.codeflows, programs)
+                    for cf, prog, outcome in zip(
+                        self.codeflows, programs, result.outcomes
+                    )
+                    if not outcome.error
                 ]
-                done = yield self.sim.all_of(deploys)
-                result.reports = list(done)
+                if deploys:
+                    yield self.sim.all_of(deploys)
                 result.deploys_done_us = self.sim.now
+                result.reports = [
+                    outcome.report
+                    for outcome in result.outcomes
+                    if outcome.report is not None
+                ]
+
+                failures = result.failed_targets
+                if failures:
+                    survivors = [o for o in result.outcomes if o.ok]
+                    if allow_partial and survivors:
+                        result.degraded = True
+                        obs.counter("rdx.broadcast.degraded").inc()
+                    else:
+                        yield from self._abort(programs, result, obs)
             finally:
                 # Phase 3: lower bubbles in dependency order
                 # (sequential: a caller's bubble only drops once its
                 # callees run new logic).  Runs on the failure path
-                # too, so no target is left buffering.
+                # too, so no reachable target is left buffering; a
+                # crashed target's lower is best-effort and counted.
                 if use_bbu:
                     for index in order:
-                        yield from self._set_bubble(self.codeflows[index], 0)
+                        codeflow = self.codeflows[index]
+                        try:
+                            yield from self._set_bubble(codeflow, 0)
+                        except ReproError:
+                            obs.counter(
+                                "rdx.broadcast.bubble_lower_failed",
+                                target=codeflow.sandbox.name,
+                            ).inc()
         result.bubble_lowered_us = self.sim.now
         result.bubble_window_us = result.bubble_lowered_us - result.bubble_raised_us
         # BBU buffering cost proxy: how long every target held requests.
         obs.histogram("rdx.broadcast.bubble_window_us").observe(
             result.bubble_window_us
         )
+        if result.aborted:
+            failures = result.failed_targets
+            first = failures[0]
+            raise BroadcastAborted(
+                f"broadcast aborted: {len(failures)}/{result.group_size} "
+                f"targets failed (first: {first.target}: "
+                f"{first.error_kind}: {first.error})",
+                result=result,
+            )
         return result
+
+    # -- per-target legs ------------------------------------------------------
+
+    def _guarded_bubble(self, codeflow, outcome, obs) -> Generator:
+        try:
+            yield from self._set_bubble(codeflow, 1)
+        except ReproError as err:
+            outcome.fail(err)
+            obs.counter(
+                "rdx.broadcast.target_failures", kind=type(err).__name__
+            ).inc()
+
+    def _target_leg(
+        self, codeflow, program, outcome, hook_name, span, verify,
+        deadline_us, obs,
+    ) -> Generator:
+        """One target's deploy under a deadline; never raises."""
+        try:
+            inner = self.sim.spawn(
+                self._deploy_target(codeflow, program, hook_name, span, verify),
+                name=f"inject:{outcome.target}",
+            )
+            timer = self.sim.timeout(deadline_us)
+            yield self.sim.any_of([inner, timer])
+            if not inner.triggered:
+                inner.interrupt("broadcast deadline expired")
+                raise DeadlineExceeded(
+                    f"{outcome.target}: deploy leg exceeded {deadline_us}us"
+                )
+            outcome.report = inner.value
+            outcome.ok = True
+        except ReproError as err:
+            outcome.fail(err)
+            obs.counter(
+                "rdx.broadcast.target_failures", kind=type(err).__name__
+            ).inc()
+
+    def _deploy_target(
+        self, codeflow, program, hook_name, span, verify
+    ) -> Generator:
+        obs = self.control_plane.obs
+        with obs.span(
+            "rdx.broadcast.target", parent=span,
+            target=codeflow.sandbox.name, program=program.name,
+        ) as child:
+            report = yield from self.control_plane.inject(
+                codeflow, program, hook_name, parent_span=child
+            )
+            if verify:
+                try:
+                    yield from self._verify_image(codeflow, program)
+                except ConsistencyError:
+                    # The hook flip already committed onto a corrupt
+                    # image -- undo *this* target immediately (the
+                    # abort path only reverts legs that succeeded).
+                    yield from self._undo(codeflow, program)
+                    raise
+        return report
+
+    def _verify_image(self, codeflow, program) -> Generator:
+        """Read the installed image back and check its trailing CRC.
+
+        Catches silent payload corruption (torn writes, bit flips) at
+        deploy time, turning it into a per-target failure the abort
+        path can undo -- instead of a data-path crash minutes later.
+        """
+        record = codeflow.deployed.get(program.name)
+        if record is None or record.code_len < 8:
+            return
+        image = yield from codeflow.sync.read(record.code_addr, record.code_len)
+        stored = int.from_bytes(image[-4:], "little")
+        if zlib.crc32(image[:-4]) & 0xFFFFFFFF != stored:
+            self.control_plane.obs.counter(
+                "rdx.broadcast.verify_failed", target=codeflow.sandbox.name
+            ).inc()
+            raise ConsistencyError(
+                f"{program.name} on {codeflow.sandbox.name}: image CRC "
+                f"mismatch after deploy (torn or corrupt write)"
+            )
+
+    def _undo(self, codeflow, program) -> Generator:
+        """Revert one target to its pre-broadcast image."""
+        record = codeflow.deployed.get(program.name)
+        if record is None:
+            return
+        if record.history:
+            yield from RollbackManager(codeflow).rollback(program.name)
+        else:
+            yield from codeflow.detach(program.name)
+
+    # -- abort path -----------------------------------------------------------
+
+    def _abort(self, programs, result: BroadcastResult, obs) -> Generator:
+        """Undo every succeeded leg: all-or-nothing visibility.
+
+        A target whose hook previously ran an older image rolls back to
+        it; a fresh deploy (no history) is detached, reverting the hook
+        to 0.  Undo on an unreachable target is best-effort -- counted,
+        not fatal (its data path is down anyway).
+        """
+        result.aborted = True
+        started = self.sim.now
+        obs.counter("rdx.broadcast.abort").inc()
+        for codeflow, program, outcome in zip(
+            self.codeflows, programs, result.outcomes
+        ):
+            if not outcome.ok:
+                continue
+            record = codeflow.deployed.get(program.name)
+            if record is None:
+                continue
+            had_history = bool(record.history)
+            try:
+                yield from self._undo(codeflow, program)
+                outcome.rolled_back = had_history
+                outcome.detached = not had_history
+            except ReproError as err:
+                obs.counter(
+                    "rdx.broadcast.abort_failed", target=outcome.target
+                ).inc()
+                outcome.error = f"abort undo failed: {err}"
+        result.abort_us = self.sim.now - started
+        obs.histogram("rdx.broadcast.abort_us").observe(result.abort_us)

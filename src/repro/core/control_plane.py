@@ -32,6 +32,7 @@ from repro.rdma.verbs import connect_qps, open_device
 from repro.sandbox.sandbox import Sandbox
 from repro.sim.trace import TraceRecorder
 from repro.core.codeflow import CodeFlow
+from repro.core.retry import RetryPolicy
 from repro.core.security import Principal, SecurityPolicy
 from repro.core.sync import RemoteSync
 
@@ -57,11 +58,17 @@ class RdxControlPlane:
         host: Host,
         policy: Optional[SecurityPolicy] = None,
         trace: Optional[TraceRecorder] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.host = host
         self.sim = host.sim
         self.policy = policy or SecurityPolicy.permissive()
         self.trace = trace or TraceRecorder(enabled=False)
+        #: Transport retry policy inherited by every CodeFlow's sync
+        #: layer: transient faults (flaky links, slow-to-ACK targets)
+        #: are absorbed with jittered backoff inside each one-sided op,
+        #: so ``inject`` and friends only see *persistent* failures.
+        self.retry = retry or RetryPolicy()
         self.obs = telemetry_of(host.sim)
         self._verbs = open_device(host)
         self._pd = self._verbs.alloc_pd()
@@ -99,7 +106,9 @@ class RdxControlPlane:
             )
             local_qp = self._verbs.create_qp(self._pd, self._cq)
             connect_qps(local_qp, target_pd_qp)
-            sync = RemoteSync(self.sim, local_qp, manifest.rkey, sandbox)
+            sync = RemoteSync(
+                self.sim, local_qp, manifest.rkey, sandbox, retry=self.retry
+            )
 
             # Stub rendezvous + GOT snapshot read.
             yield self.sim.timeout(params.RDX_STUB_RENDEZVOUS_US)

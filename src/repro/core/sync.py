@@ -13,14 +13,25 @@ One-sided injection has three hazards, each owned by one primitive:
   :meth:`RemoteSync.unlock` implement a sandbox-level mutex over an
   RDMA CAS word that the local CPU honours through
   :meth:`repro.sandbox.sandbox.Sandbox.cpu_try_lock`.
+
+All raw one-sided ops run under a :class:`~repro.core.retry.RetryPolicy`:
+a transient transport failure (flaky link, unACKed WR against a host
+that might just be slow) is retried with jittered backoff instead of
+killing the caller.  A :attr:`fault_hook` lets the fault injector
+(:mod:`repro.core.faults`) corrupt, drop, or fail individual ops
+without the sync layer knowing about fault kinds.
 """
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Generator, Optional
 
 from repro import params
-from repro.errors import RdmaError
+from repro.core.retry import RetryPolicy
+from repro.errors import RdmaError, TransientFault
+from repro.obs import telemetry_of
 from repro.rdma.cq import Completion, WcStatus
 from repro.rdma.qp import QueuePair, WorkRequest, WrOpcode
 from repro.sandbox.sandbox import Sandbox
@@ -30,59 +41,146 @@ from repro.sim.core import Simulator
 class RemoteSync:
     """Sync-primitive toolkit bound to one (QP, sandbox) pair."""
 
-    def __init__(self, sim: Simulator, qp: QueuePair, rkey: int, sandbox: Sandbox):
+    def __init__(
+        self,
+        sim: Simulator,
+        qp: QueuePair,
+        rkey: int,
+        sandbox: Sandbox,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.sim = sim
         self.qp = qp
         self.rkey = rkey
         self.sandbox = sandbox
+        self.retry = retry or RetryPolicy()
+        #: Optional fault filter installed by
+        #: :meth:`repro.core.faults.FaultInjector.attach`.  Called as
+        #: ``hook(op, addr, data)`` before each raw op; returns ``None``
+        #: or an action object with ``mangled`` (replacement payload),
+        #: ``drop`` (skip the op) and ``error`` (exception to raise)
+        #: attributes.
+        self.fault_hook = None
+        #: Jitter source for retry backoff, decorrelated per target.
+        #: Seeded from the sandbox *name* (stable across test orderings,
+        #: unlike the module-global sandbox_id counter).
+        self._rng = random.Random(zlib.crc32(sandbox.name.encode()))
         self.tx_count = 0
         self.cc_count = 0
         self.lock_acquires = 0
 
     # -- raw one-sided ops --------------------------------------------------
 
-    def write(self, addr: int, data: bytes) -> Generator:
-        completion = yield self.qp.post_send(
-            WorkRequest(
-                opcode=WrOpcode.RDMA_WRITE, remote_addr=addr, rkey=self.rkey,
-                data=data,
-            )
+    def _consult_hook(self, op: str, addr: int, data):
+        """Apply an armed fault, if any.
+
+        Returns ``(payload, drop, error)``: possibly mangled payload,
+        whether to skip the op entirely, and an exception to raise from
+        *inside* the first transport attempt (so a one-shot transient
+        fault meets the retry policy, exactly like a real flaky link).
+        """
+        if self.fault_hook is None:
+            return data, False, None
+        action = self.fault_hook(op, addr, data)
+        if action is None:
+            return data, False, None
+        mangled = getattr(action, "mangled", None)
+        if mangled is not None:
+            data = mangled
+        return (
+            data,
+            bool(getattr(action, "drop", False)),
+            getattr(action, "error", None),
         )
-        self._check(completion, "WRITE")
+
+    def _attempt(self, wr_factory, what: str) -> Generator:
+        completion = yield self.qp.post_send(wr_factory())
+        self._check(completion, what)
+        return completion
+
+    def _faulted_attempt(self, error: BaseException) -> Generator:
+        # The op goes out but its ACK never arrives: charge the
+        # transport timeout, then surface the injected fault.
+        yield self.sim.timeout(params.RDMA_RETRY_TIMEOUT_US)
+        raise error
+
+    def _op(self, wr_factory, what: str, inject=None) -> Generator:
+        """One raw op under the retry policy (transient faults absorbed).
+
+        ``inject`` makes the *first* attempt fail with that exception;
+        retryable injections are then absorbed like any other hiccup.
+        """
+        state = {"pending": inject}
+
+        def attempt():
+            if state["pending"] is not None:
+                error, state["pending"] = state["pending"], None
+                return self._faulted_attempt(error)
+            return self._attempt(wr_factory, what)
+
+        completion = yield from self.retry.run(
+            self.sim, attempt, op=what.lower(), rng=self._rng
+        )
+        return completion
+
+    def write(self, addr: int, data: bytes) -> Generator:
+        payload, dropped, inject = self._consult_hook("write", addr, data)
+        if dropped:
+            yield self.sim.timeout(params.RDX_CC_EVENT_US)
+            return None
+        completion = yield from self._op(
+            lambda: WorkRequest(
+                opcode=WrOpcode.RDMA_WRITE, remote_addr=addr, rkey=self.rkey,
+                data=payload,
+            ),
+            "WRITE",
+            inject=inject,
+        )
         return completion
 
     def read(self, addr: int, length: int) -> Generator:
-        completion = yield self.qp.post_send(
-            WorkRequest(
+        _, dropped, inject = self._consult_hook("read", addr, None)
+        if dropped:
+            # Stale read: the response carries pre-write bytes, modeled
+            # as zeros (the allocator hands out zeroed regions).
+            yield self.sim.timeout(params.RDX_CC_EVENT_US)
+            return bytes(length)
+        completion = yield from self._op(
+            lambda: WorkRequest(
                 opcode=WrOpcode.RDMA_READ, remote_addr=addr, rkey=self.rkey,
                 length=length,
-            )
+            ),
+            "READ",
+            inject=inject,
         )
-        self._check(completion, "READ")
         return completion.result
 
     def cas(self, addr: int, compare: int, swap: int) -> Generator:
-        completion = yield self.qp.post_send(
-            WorkRequest(
+        _, _, inject = self._consult_hook("cas", addr, None)
+        completion = yield from self._op(
+            lambda: WorkRequest(
                 opcode=WrOpcode.COMP_SWAP, remote_addr=addr, rkey=self.rkey,
                 compare=compare, swap_or_add=swap,
-            )
+            ),
+            "CAS",
+            inject=inject,
         )
-        self._check(completion, "CAS")
         return completion.result
 
     def fetch_add(self, addr: int, delta: int) -> Generator:
-        completion = yield self.qp.post_send(
-            WorkRequest(
+        completion = yield from self._op(
+            lambda: WorkRequest(
                 opcode=WrOpcode.FETCH_ADD, remote_addr=addr, rkey=self.rkey,
                 swap_or_add=delta,
-            )
+            ),
+            "FETCH_ADD",
         )
-        self._check(completion, "FETCH_ADD")
         return completion.result
 
     @staticmethod
     def _check(completion: Completion, what: str) -> None:
+        if completion.status is WcStatus.RETRY_EXC_ERROR:
+            raise TransientFault(f"{what} unACKed: {completion.error}")
         if completion.status is not WcStatus.SUCCESS:
             raise RdmaError(f"{what} failed: {completion.error}")
 
@@ -131,6 +229,11 @@ class RemoteSync:
         effect ~:data:`repro.params.RDX_CC_EVENT_US` later and costs
         no target CPU time.
         """
+        _, dropped, _inject = self._consult_hook("cc_event", mem_addr, None)
+        if dropped:
+            # Charge the time, skip the effect (DROPPED_FLUSH fault).
+            yield self.sim.timeout(params.RDX_CC_EVENT_US)
+            return
         doorbell = self.sandbox.control_addr + 24  # OFF_DOORBELL
         self.sim.spawn(
             self.write(doorbell, (1).to_bytes(8, "little")),
@@ -145,19 +248,35 @@ class RemoteSync:
     def lock(
         self, owner_token: int, max_attempts: int = 64, backoff_us: float = 2.0
     ) -> Generator:
-        """Acquire the sandbox lock with bounded CAS retries.
+        """Acquire the sandbox lock with bounded, jittered CAS retries.
 
-        Returns the number of attempts used; raises on exhaustion.
+        Backoff grows geometrically and carries seeded jitter derived
+        from ``owner_token``, so two contenders never retry in
+        lockstep (lockstep contenders each observe the other's token
+        every round and can livelock to exhaustion).  Returns the
+        number of attempts used; raises on exhaustion.
         """
         lock_addr = self.sandbox.lock_addr
+        policy = RetryPolicy(
+            max_attempts=max_attempts,
+            backoff_base_us=backoff_us,
+            backoff_max_us=backoff_us * 16,
+            jitter_frac=0.5,
+        )
+        # Seeded per (token, acquisition): deterministic across runs,
+        # decorrelated across contenders.
+        rng = random.Random(owner_token * 0x9E3779B1 + self.lock_acquires)
+        obs = telemetry_of(self.sim)
         for attempt in range(1, max_attempts + 1):
             prior = yield from self.cas(lock_addr, 0, owner_token)
             if prior == 0:
                 self.lock_acquires += 1
+                if attempt > 1:
+                    obs.counter("rdx.lock.contended_acquires").inc()
                 # Make the acquisition visible to the local CPU quickly.
                 yield from self.cc_event(lock_addr, 8)
                 return attempt
-            yield self.sim.timeout(backoff_us * attempt)
+            yield self.sim.timeout(policy.backoff_us(attempt, rng))
         raise RdmaError(
             f"lock on {self.sandbox.name} not acquired after {max_attempts} tries"
         )

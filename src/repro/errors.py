@@ -23,6 +23,27 @@ class ProtectionError(RdmaError):
     """Remote key / protection-domain violation on a one-sided op."""
 
 
+class TransientFault(RdmaError):
+    """A retryable transport hiccup (dropped op, timeout, flapping link).
+
+    Raised where retrying the same operation may legitimately succeed;
+    :class:`repro.core.retry.RetryPolicy` absorbs these up to its
+    attempt/deadline budget.
+    """
+
+
+class HostUnreachable(TransientFault):
+    """The destination host is crashed or partitioned away.
+
+    Transient in the protocol sense -- the initiator cannot tell a
+    crash from a slow link, so it retries until its deadline expires.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """An operation's retry/deadline budget ran out before it succeeded."""
+
+
 class VerifierError(ReproError):
     """Extension bytecode rejected by a static verifier."""
 
@@ -53,6 +74,22 @@ class DeployError(ReproError):
 
 class ConsistencyError(ReproError):
     """An update-consistency invariant was violated."""
+
+
+class BroadcastAborted(ConsistencyError):
+    """A collective update failed on some targets and was rolled back.
+
+    Carries the :class:`~repro.core.broadcast.BroadcastResult` (as
+    ``result``) so callers can inspect per-target outcomes: which
+    deploys failed, which succeeded and were reverted, and how long
+    the abort took.  All-or-nothing visibility is preserved -- by the
+    time this is raised, every reachable target runs its prior image
+    and every bubble flag is lowered.
+    """
+
+    def __init__(self, message: str, result=None):
+        super().__init__(message)
+        self.result = result
 
 
 class SecurityError(ReproError):

@@ -7,6 +7,7 @@ paper reports, so benchmarks and ``EXPERIMENTS.md`` compare shapes
 """
 
 from repro.exp.harness import Testbed, format_table, make_testbed
+from repro.exp.fault_campaign import FaultCampaignResult, run_fault_campaign
 from repro.exp.fig2a import run_fig2a
 from repro.exp.fig2b import run_fig2b
 from repro.exp.fig2c import run_fig2c
@@ -19,9 +20,11 @@ from repro.exp.tab_broadcast import run_tab_broadcast
 from repro.exp.tab_rollback import run_tab_rollback
 
 __all__ = [
+    "FaultCampaignResult",
     "Testbed",
     "format_table",
     "make_testbed",
+    "run_fault_campaign",
     "run_fig2a",
     "run_fig2b",
     "run_fig2c",

@@ -48,9 +48,24 @@ class Host:
         self.nic: Optional["Rnic"] = None
         self.fabric: Optional["Fabric"] = None
         self._handlers: dict[str, object] = {}
+        #: Node-crash fault state: a crashed host stops ACKing; one-sided
+        #: ops against it time out and messages to it are lost in flight.
+        self.crashed = False
+        self.crashed_at_us: Optional[float] = None
 
     def __repr__(self) -> str:
         return f"Host({self.name})"
+
+    def crash(self) -> None:
+        """Fail-stop this host (fault-injection hook)."""
+        if not self.crashed:
+            self.crashed = True
+            self.crashed_at_us = self.sim.now
+
+    def recover(self) -> None:
+        """Bring the host back after a crash (memory survives, as DRAM
+        in the simulator is never cleared -- model of a warm reboot)."""
+        self.crashed = False
 
     def attach_fabric(self, fabric: "Fabric") -> None:
         self.fabric = fabric

@@ -54,6 +54,19 @@ RDMA_ATOMIC_RTT_US = 2.0
 RDMA_SMALL_OP_RTT_US = 2.0
 #: Extra per-operation cost of RNIC doorbell + WQE fetch, us.
 RDMA_DOORBELL_US = 0.2
+#: Time an initiator RNIC waits for an ACK before declaring the target
+#: unreachable (RC retransmit budget collapsed into one timeout), us.
+RDMA_RETRY_TIMEOUT_US = 12.0
+
+#: Default retry budget for one-sided operations against a flaky or
+#: crashed target: attempts, backoff shape, and per-op deadline.
+RETRY_MAX_ATTEMPTS = 4
+RETRY_BACKOFF_BASE_US = 2.0
+RETRY_BACKOFF_MAX_US = 64.0
+#: Per-target deadline for one broadcast deploy leg, us.  Generous --
+#: a healthy warm deploy is tens of microseconds -- so only a crashed
+#: or partitioned target exhausts it.
+BROADCAST_TARGET_DEADLINE_US = 50_000.0
 
 #: TCP/gRPC request latency floor for control RPCs (agent path), us.
 #: Kernel network stack both sides + protobuf handling.

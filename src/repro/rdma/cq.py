@@ -17,6 +17,9 @@ class WcStatus(enum.Enum):
     REMOTE_ACCESS_ERROR = "remote_access_error"
     REMOTE_OP_ERROR = "remote_op_error"
     WR_FLUSH_ERROR = "wr_flush_error"
+    #: Transport retries exhausted: the target never ACKed (crashed
+    #: host or partitioned link).  Retryable at the initiator.
+    RETRY_EXC_ERROR = "retry_exc_error"
 
 
 @dataclass

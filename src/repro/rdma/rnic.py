@@ -31,6 +31,10 @@ from repro.sim.resources import Resource
 RNIC_MTU_BYTES = 4096
 
 
+class _Unreachable(Exception):
+    """Internal: target stopped ACKing mid-operation (crash/partition)."""
+
+
 class Rnic:
     """One RDMA NIC attached to a host."""
 
@@ -101,6 +105,7 @@ class Rnic:
         yield self.sim.timeout(params.RDMA_DOORBELL_US + params.RNIC_OP_OVERHEAD_US)
 
         try:
+            self._check_reachable(remote_host)
             if wr.opcode is WrOpcode.RDMA_WRITE:
                 result = yield from self._do_write(qp, wr, remote_qp, remote_host)
             elif wr.opcode is WrOpcode.RDMA_READ:
@@ -119,6 +124,18 @@ class Rnic:
                 status=WcStatus.REMOTE_ACCESS_ERROR,
                 error=str(err),
             )
+        except _Unreachable as err:
+            # The target never ACKs: the initiator burns its RC
+            # retransmit budget, then surfaces a retryable completion.
+            # The QP stays usable -- upper layers decide whether to
+            # retry (RetryPolicy) or declare the target dead.
+            yield self.sim.timeout(params.RDMA_RETRY_TIMEOUT_US)
+            return Completion(
+                wr_id=wr.wr_id,
+                opcode=wr.opcode.value,
+                status=WcStatus.RETRY_EXC_ERROR,
+                error=str(err),
+            )
         return Completion(
             wr_id=wr.wr_id,
             opcode=wr.opcode.value,
@@ -126,6 +143,21 @@ class Rnic:
             byte_len=wr.wire_bytes(),
             result=result,
         )
+
+    def _check_reachable(self, remote_host: Host) -> None:
+        """Raise :class:`_Unreachable` when the target cannot ACK."""
+        if remote_host.crashed:
+            raise _Unreachable(f"{remote_host.name} crashed (no ACK)")
+        fabric = self.host.fabric
+        if (
+            fabric is not None
+            and remote_host.fabric is fabric
+            and not fabric.reachable(self.host.name, remote_host.name)
+        ):
+            raise _Unreachable(
+                f"{remote_host.name} unreachable from {self.host.name} "
+                f"(link partitioned)"
+            )
 
     def _check_remote(
         self, remote_qp: QueuePair, wr: WorkRequest, n: int, need: AccessFlags
@@ -148,6 +180,10 @@ class Rnic:
         while offset < len(wr.data):
             chunk = wr.data[offset : offset + RNIC_MTU_BYTES]
             yield self.sim.timeout(len(chunk) / params.RDMA_BANDWIDTH_BPUS)
+            # A crash mid-transfer loses the unACKed remainder: chunks
+            # already landed stay (DMA'd DRAM survives), the rest never
+            # arrives -- exactly the torn state rdx_tx protects against.
+            self._check_reachable(remote_host)
             remote_host.cache.dma_write(wr.remote_addr + offset, chunk)
             self.bytes_dma += len(chunk)
             offset += len(chunk)

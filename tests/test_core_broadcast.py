@@ -132,6 +132,7 @@ class TestBubbleLeak:
         """Regression: a deploy failure mid-broadcast must not strand
         targets behind raised bubble flags (§2.2 agent lockout)."""
         from repro.core.control_plane import RdxControlPlane
+        from repro.errors import BroadcastAborted
 
         bed = testbed2
         original = RdxControlPlane.inject
@@ -152,10 +153,38 @@ class TestBubbleLeak:
             bed.sim.run()
         finally:
             RdxControlPlane.inject = original
-        # The failure is surfaced, not swallowed ...
-        with pytest.raises(DeployError, match="blew up"):
+        # The failure is surfaced as a transactional abort, not
+        # swallowed; the per-target error rides along in the message.
+        with pytest.raises(BroadcastAborted, match="blew up"):
             _ = process.value
         # ... and no bubble flag stays raised on any target.
+        assert all(not sb.bubble_active() for sb in bed.sandboxes)
+
+    def test_torn_write_aborts_and_lowers_every_bubble(self, testbed2):
+        """The headline scenario: one target's image write is torn
+        in-flight.  The CRC verify readback must surface it (a
+        ConsistencyError, not silence), and every bubble must drop."""
+        from repro.core.faults import FaultInjector, FaultKind
+        from repro.errors import BroadcastAborted
+
+        bed = testbed2
+        injector = FaultInjector(bed.codeflows[1], seed=7)
+        injector.arm(FaultKind.TORN_WRITE)
+        injector.attach()
+        try:
+            process = bed.sim.spawn(
+                rdx_broadcast(bed.codeflows, programs_for(bed), "ingress")
+            )
+            bed.sim.run()
+        finally:
+            injector.detach()
+        with pytest.raises(BroadcastAborted) as excinfo:
+            _ = process.value
+        assert isinstance(excinfo.value, ConsistencyError)  # not swallowed
+        outcome = excinfo.value.result.outcomes[1]
+        assert not outcome.ok
+        assert outcome.error_kind == "ConsistencyError"
+        # No target is stranded buffering behind a raised bubble.
         assert all(not sb.bubble_active() for sb in bed.sandboxes)
 
 

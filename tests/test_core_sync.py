@@ -200,6 +200,47 @@ class TestMutualExclusion:
         attempts = testbed.sim.run_process(flow())
         assert attempts > 1
 
+    def test_two_contenders_both_acquire(self, testbed):
+        """Regression: contenders back off with seeded jitter, so two
+        of them never retry in lockstep until exhaustion -- both must
+        eventually hold the lock."""
+        sync = testbed.codeflow.sync
+        acquisitions = []
+
+        def contender(token):
+            attempts = yield from sync.lock(token, max_attempts=64)
+            acquisitions.append((token, attempts))
+            yield testbed.sim.timeout(10)
+            yield from sync.unlock(token)
+
+        testbed.sim.spawn(contender(0xAA))
+        testbed.sim.spawn(contender(0xBB))
+        testbed.sim.run()
+        assert {token for token, _ in acquisitions} == {0xAA, 0xBB}
+        # The loser retried (contended) but did not exhaust its budget.
+        assert max(attempts for _, attempts in acquisitions) > 1
+
+    def test_contender_backoffs_are_decorrelated(self):
+        """Two tokens seed different jitter streams: their backoff
+        schedules diverge, which is what breaks lockstep retries."""
+        import random
+
+        from repro.core.retry import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=8, backoff_base_us=2.0, backoff_max_us=32.0,
+            jitter_frac=0.5,
+        )
+        rng_a = random.Random(0xAA * 0x9E3779B1)
+        rng_b = random.Random(0xBB * 0x9E3779B1)
+        a = [policy.backoff_us(i, rng_a) for i in range(1, 6)]
+        b = [policy.backoff_us(i, rng_b) for i in range(1, 6)]
+        assert a != b
+        # And the schedule is reproducible for a given token.
+        rng_a2 = random.Random(0xAA * 0x9E3779B1)
+        again = [policy.backoff_us(i, rng_a2) for i in range(1, 6)]
+        assert a == again
+
     def test_unlock_by_wrong_owner(self, testbed):
         def flow():
             yield from testbed.codeflow.sync.lock(0xAA)

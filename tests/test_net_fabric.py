@@ -3,7 +3,7 @@
 import pytest
 
 from repro import params
-from repro.errors import ReproError
+from repro.errors import HostUnreachable, ReproError
 from repro.net.fabric import Fabric, Message
 from repro.net.topology import Cluster, Host
 from repro.sim.core import Simulator
@@ -131,3 +131,70 @@ class TestCluster:
     def test_needs_one_host(self):
         with pytest.raises(ValueError):
             Cluster(Simulator(), n_hosts=0)
+
+
+class TestFaultModel:
+    def test_msg_ids_deterministic_per_fabric(self):
+        """Regression: msg_id comes from a per-Fabric counter, so the
+        same scenario produces the same IDs no matter how many other
+        simulators ran earlier in the process."""
+
+        def run_once():
+            sim = Simulator()
+            fabric = Fabric(sim)
+            a = Host(sim, "a", dram_bytes=1 << 20)
+            b = Host(sim, "b", dram_bytes=1 << 20)
+            fabric.attach(a)
+            fabric.attach(b)
+            seen = []
+            b.register_handler("x", lambda msg: seen.append(msg.msg_id))
+            for i in range(5):
+                fabric.send(
+                    Message(src="a", dst="b", channel="x", size_bytes=100 * i)
+                )
+            sim.run()
+            return seen
+
+        first, second = run_once(), run_once()
+        assert first == second == [1, 2, 3, 4, 5]
+
+    def test_crash_drops_inflight_and_fails_waiter(self, pair):
+        sim, fabric, a, b = pair
+        done = fabric.send(Message(src="a", dst="b", channel="x", size_bytes=0))
+        fabric.crash_host("b")  # crashes while the message is in flight
+        sim.run()
+        assert done.triggered and not done.ok
+        with pytest.raises(HostUnreachable):
+            _ = done.value
+        assert fabric.messages_dropped == 1
+        assert fabric.messages_sent == 0
+
+    def test_recovered_host_receives_again(self, pair):
+        sim, fabric, a, b = pair
+        fabric.crash_host("b")
+        fabric.send(Message(src="a", dst="b", channel="x", size_bytes=0))
+        sim.run()
+        fabric.recover_host("b")
+        done = fabric.send(Message(src="a", dst="b", channel="x", size_bytes=0))
+        sim.run()
+        assert done.ok
+
+    def test_partition_and_heal(self, pair):
+        sim, fabric, a, b = pair
+        fabric.partition("a", "b")
+        assert not fabric.reachable("a", "b")
+        lost = fabric.send(Message(src="a", dst="b", channel="x", size_bytes=0))
+        sim.run()
+        assert not lost.ok
+        fabric.heal("a", "b")
+        assert fabric.reachable("a", "b")
+        done = fabric.send(Message(src="a", dst="b", channel="x", size_bytes=0))
+        sim.run()
+        assert done.ok
+
+    def test_extra_delay_slows_delivery(self, pair):
+        sim, fabric, a, b = pair
+        fabric.set_extra_delay("b", 7.5)
+        fabric.send(Message(src="a", dst="b", channel="x", size_bytes=0))
+        sim.run()
+        assert sim.now == pytest.approx(params.NET_BASE_LATENCY_US + 7.5)
