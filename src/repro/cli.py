@@ -320,6 +320,16 @@ def _faults(
     )
 
 
+def _recover(seed: int, nodes: int) -> str:
+    from repro.exp.recovery_campaign import (
+        format_recovery_report,
+        run_recovery_campaign,
+    )
+
+    result = run_recovery_campaign(n_hosts=nodes, seed=seed)
+    return format_recovery_report(result)
+
+
 EXPERIMENTS: dict[str, Callable[[bool], str]] = {
     "fig2a": _fig2a,
     "fig2b": _fig2b,
@@ -340,8 +350,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "telemetry", "faults"],
-        help="which figure/table to regenerate (or 'telemetry' / 'faults')",
+        choices=sorted(EXPERIMENTS)
+        + ["all", "list", "telemetry", "faults", "recover"],
+        help="which figure/table to regenerate "
+        "(or 'telemetry' / 'faults' / 'recover')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps, faster run"
@@ -358,11 +370,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=0,
-        help="faults: RNG seed for the fault schedule",
+        help="faults/recover: RNG seed for the fault schedule",
     )
     parser.add_argument(
         "--nodes", type=int, default=3,
-        help="faults: number of target hosts",
+        help="faults/recover: number of target hosts",
     )
     parser.add_argument(
         "--allow-partial", action="store_true",
@@ -372,7 +384,7 @@ def main(argv=None) -> int:
 
     if args.experiment == "list":
         try:
-            for name in sorted(EXPERIMENTS) + ["faults", "telemetry"]:
+            for name in sorted(EXPERIMENTS) + ["faults", "recover", "telemetry"]:
                 print(name)
         except BrokenPipeError:  # e.g. `repro list | head`
             pass
@@ -380,6 +392,10 @@ def main(argv=None) -> int:
 
     if args.experiment == "telemetry":
         print(_telemetry(args.quick, args.format))
+        return 0
+
+    if args.experiment == "recover":
+        print(_recover(seed=args.seed, nodes=args.nodes))
         return 0
 
     if args.experiment == "faults":

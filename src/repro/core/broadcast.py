@@ -37,11 +37,13 @@ from repro.errors import (
     ConsistencyError,
     DeadlineExceeded,
     DeployError,
+    HostUnreachable,
     ReproError,
 )
 from repro.ebpf.program import BpfProgram
 from repro.mem.layout import pack_qword
 from repro.core.codeflow import CodeFlow
+from repro.core.health import HealthDetector, TargetHealth
 from repro.core.rollback import RollbackManager
 
 
@@ -127,6 +129,8 @@ class CodeFlowGroup:
         verify: bool = True,
         allow_partial: bool = False,
         deadline_us: Optional[float] = None,
+        health: Optional[HealthDetector] = None,
+        record_intent: bool = True,
     ) -> Generator:
         """Deploy ``programs[i]`` to ``codeflows[i]`` transactionally.
 
@@ -146,6 +150,14 @@ class CodeFlowGroup:
         :class:`~repro.errors.BroadcastAborted` raised after bubbles
         drop); ``allow_partial=True`` keeps surviving targets live and
         marks the result ``degraded``.
+
+        With a ``health`` detector attached, targets whose lease is
+        SUSPECT or DEAD fail their legs *immediately* -- no bubble
+        rises on them and no per-leg deadline burns down waiting on a
+        host the lease layer already knows is sick.  ``record_intent``
+        journals the whole broadcast as one WAL transaction (INTEND
+        before any bubble rises, COMMIT listing exactly the legs that
+        kept the new logic).
         """
         if len(programs) != len(self.codeflows):
             raise DeployError(
@@ -158,6 +170,9 @@ class CodeFlowGroup:
         if deadline_us is None:
             deadline_us = params.BROADCAST_TARGET_DEADLINE_US
 
+        plane = self.control_plane
+        plane._check_alive()
+
         result = BroadcastResult(
             group_size=len(self.codeflows), started_us=self.sim.now
         )
@@ -166,6 +181,52 @@ class CodeFlowGroup:
             for cf, prog in zip(self.codeflows, programs)
         ]
 
+        txn = None
+        if record_intent:
+            legs = []
+            for codeflow, program in zip(self.codeflows, programs):
+                plane.journal.record_program(program)
+                legs.append(
+                    {
+                        "target": codeflow.sandbox.name,
+                        "hook": hook_name,
+                        "name": program.name,
+                        "tag": program.tag(),
+                    }
+                )
+            txn = plane._mint_txn("broadcast")
+            plane.journal.begin(
+                txn, "broadcast", plane.epoch, hook=hook_name, legs=legs
+            )
+        try:
+            result = yield from self._broadcast_body(
+                programs, hook_name, order, use_bbu, verify, allow_partial,
+                deadline_us, health, result, txn,
+            )
+        except BaseException as err:
+            # A crashed incarnation records nothing: the dangling INTEND
+            # is exactly what tells the reconciler this work may be
+            # half-applied.
+            if txn is not None and not plane.crashed:
+                plane.journal.abort(txn, reason=str(err))
+            raise
+        if txn is not None:
+            plane.journal.commit(
+                txn,
+                hook=hook_name,
+                legs=[
+                    leg
+                    for leg, outcome in zip(legs, result.outcomes)
+                    if outcome.ok
+                ],
+            )
+        return result
+
+    def _broadcast_body(
+        self, programs, hook_name, order, use_bbu, verify, allow_partial,
+        deadline_us, health, result, txn,
+    ) -> Generator:
+        plane = self.control_plane
         obs = self.control_plane.obs
         obs.counter("rdx.broadcast.count").inc()
         obs.counter("rdx.broadcast.targets").inc(len(self.codeflows))
@@ -181,6 +242,24 @@ class CodeFlowGroup:
                 yield from self.control_plane.prepare_for(
                     codeflow, program, parent_span=span
                 )
+            if txn is not None:
+                plane.journal.phase(txn, "prepared")
+
+            # Phase 0.5: graceful degradation.  Targets whose lease is
+            # not ALIVE fail here, for free -- no per-leg timeout is
+            # ever paid for a host the detector already suspects.
+            # Lease state is local, so this phase costs zero time.
+            for codeflow, outcome in zip(self.codeflows, result.outcomes):
+                lease = health.leases.get(outcome.target) if health else None
+                if lease is not None and lease.health is not TargetHealth.ALIVE:
+                    outcome.fail(
+                        HostUnreachable(
+                            f"{outcome.target}: lease is {lease.health.value}"
+                        )
+                    )
+                    obs.counter(
+                        "rdx.broadcast.lease_skips", target=outcome.target
+                    ).inc()
 
             # Phase 1: raise every bubble in parallel.  A target whose
             # bubble cannot rise (crashed, partitioned) fails its leg
@@ -194,9 +273,13 @@ class CodeFlowGroup:
                     for i, (cf, outcome) in enumerate(
                         zip(self.codeflows, result.outcomes)
                     )
+                    if not outcome.error
                 ]
-                yield self.sim.all_of(raises)
+                if raises:
+                    yield self.sim.all_of(raises)
             result.bubble_raised_us = self.sim.now
+            if txn is not None:
+                plane.journal.phase(txn, "bubbled")
 
             # Phases 2-3 are exception-safe: whatever happens during
             # the deploy fan-out, every raised bubble is lowered before
@@ -220,6 +303,8 @@ class CodeFlowGroup:
                 if deploys:
                     yield self.sim.all_of(deploys)
                 result.deploys_done_us = self.sim.now
+                if txn is not None:
+                    plane.journal.phase(txn, "deployed")
                 result.reports = [
                     outcome.report
                     for outcome in result.outcomes
@@ -240,9 +325,17 @@ class CodeFlowGroup:
                 # callees run new logic).  Runs on the failure path
                 # too, so no reachable target is left buffering; a
                 # crashed target's lower is best-effort and counted.
-                if use_bbu:
+                # A crashed *control plane* runs no cleanup at all --
+                # dead processes do not lower bubbles; the raised flags
+                # it strands are the reconciler's to repair.
+                if use_bbu and not plane.crashed:
                     for index in order:
                         codeflow = self.codeflows[index]
+                        if result.outcomes[index].error_kind == "StaleEpochError":
+                            # A fenced leg never raised its bubble, and a
+                            # stale writer has no business lowering the
+                            # successor's.
+                            continue
                         try:
                             yield from self._set_bubble(codeflow, 0)
                         except ReproError:
@@ -270,7 +363,13 @@ class CodeFlowGroup:
     # -- per-target legs ------------------------------------------------------
 
     def _guarded_bubble(self, codeflow, outcome, obs) -> Generator:
+        """Fence, then raise: an 8-byte epoch read precedes the bubble
+        write so a stale control plane never raises a bubble on (let
+        alone deploys to) a successor's target.  Fence failures are
+        per-leg failures, feeding the normal abort/partial machinery;
+        the no-BBU path is fenced by ``_deploy_body`` instead."""
         try:
+            yield from codeflow.check_fence()
             yield from self._set_bubble(codeflow, 1)
         except ReproError as err:
             outcome.fail(err)
@@ -312,7 +411,8 @@ class CodeFlowGroup:
             target=codeflow.sandbox.name, program=program.name,
         ) as child:
             report = yield from self.control_plane.inject(
-                codeflow, program, hook_name, parent_span=child
+                codeflow, program, hook_name, parent_span=child,
+                record_intent=False,  # the broadcast txn owns the WAL entry
             )
             if verify:
                 try:
@@ -354,7 +454,9 @@ class CodeFlowGroup:
         if record.history:
             yield from RollbackManager(codeflow).rollback(program.name)
         else:
-            yield from codeflow.detach(program.name)
+            # The fresh deploy never reached committed intent, so there
+            # is nothing to journal about removing it.
+            yield from codeflow.detach(program.name, record_intent=False)
 
     # -- abort path -----------------------------------------------------------
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional, TYPE_CHECKING
 
 from repro import params
-from repro.errors import DeployError, XStateError
+from repro.errors import DeployError, StaleEpochError, XStateError
 from repro.ebpf.jit import JitBinary
 from repro.ebpf.maps import BpfMap
 from repro.ebpf.program import BpfProgram
@@ -112,6 +112,67 @@ class CodeFlow:
         self._hook_owner: dict[str, str] = {}
         self.reports: list[DeployReport] = []
         self._lock_token = 0xC0DE_0000 + sandbox.sandbox_id
+        #: The deployment epoch this handle writes under (fencing token);
+        #: set by :meth:`stamp_epoch` during rdx_create_codeflow.
+        self.epoch = 0
+        self.closed = False
+        #: ((local verbs ctx, local qp), (target verbs ctx, target qp)),
+        #: populated by the control plane for teardown.
+        self._qp_pair: tuple = ()
+
+    # -- deployment epochs (fencing) ------------------------------------------
+
+    def _read_remote_epoch(self) -> Generator:
+        raw = yield from self.sync.read(self.sandbox.epoch_addr, 8)
+        return int.from_bytes(raw, "little")
+
+    def stamp_epoch(self, epoch: int) -> Generator:
+        """Install ``epoch`` as the target's fencing word.
+
+        Epochs only move forward: if the target already carries a newer
+        one, another control-plane incarnation owns it and this writer
+        must stand down (:class:`StaleEpochError`) -- the CAS makes the
+        read-check-write race-free against a concurrent claimant.
+        """
+        current = yield from self._read_remote_epoch()
+        if current > epoch:
+            self._fenced(current)
+        if current != epoch:
+            prior = yield from self.sync.cas(
+                self.sandbox.epoch_addr, current, epoch
+            )
+            if prior != current:
+                self._fenced(prior)
+            yield from self.sync.cc_event(self.sandbox.epoch_addr, 8)
+        self.epoch = epoch
+
+    def check_fence(self) -> Generator:
+        """Refuse to mutate a target whose epoch has moved past ours.
+
+        One 8-byte read before any mutating bytes land; this is what
+        keeps a stale control plane resuming after a partition from
+        overwriting its successor's work.
+        """
+        current = yield from self._read_remote_epoch()
+        if current > self.epoch:
+            self._fenced(current)
+
+    def _fenced(self, remote_epoch: int) -> None:
+        self.obs.counter("rdx.epoch.fenced", target=self.sandbox.name).inc()
+        raise StaleEpochError(
+            f"{self.sandbox.name}: target epoch {remote_epoch} supersedes "
+            f"ours ({self.epoch}); this control plane has been fenced"
+        )
+
+    # -- teardown --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the QP pair backing this handle (local teardown)."""
+        if self.closed:
+            return
+        for ctx, qp in self._qp_pair:
+            ctx.destroy_qp(qp)
+        self.closed = True
 
     def _map_address_of(self, name: str) -> Optional[int]:
         handle = self.scratchpad.by_name(name)
@@ -186,6 +247,10 @@ class CodeFlow:
         retain_history: bool,
         report: DeployReport,
     ) -> Generator:
+        # Fence first: no byte may land on a target owned by a newer
+        # control-plane epoch.
+        yield from self.check_fence()
+
         # Dispatch: registry lookup, WQE prep, completion polling --
         # control-plane CPU only.
         mark = self.sim.now
@@ -304,9 +369,32 @@ class CodeFlow:
 
     # -- detach / rollback support ----------------------------------------------
 
-    def detach(self, program_name: str) -> Generator:
+    def detach(self, program_name: str, record_intent: bool = True) -> Generator:
         """Remove the extension: hook -> 0, metadata -> detached."""
         record = self._record(program_name)
+        yield from self.check_fence()
+        txn = None
+        if record_intent:
+            plane = self.control_plane
+            txn = plane._mint_txn("detach")
+            plane.journal.begin(
+                txn, "detach", plane.epoch,
+                target=self.sandbox.name, name=program_name,
+            )
+        try:
+            yield from self._detach_body(program_name, record)
+        except BaseException as err:
+            if txn is not None and not self.control_plane.crashed:
+                self.control_plane.journal.abort(txn, reason=str(err))
+            raise
+        if txn is not None:
+            self.control_plane.journal.commit(
+                txn, target=self.sandbox.name, name=program_name
+            )
+
+    def _detach_body(
+        self, program_name: str, record: DeployedProgram
+    ) -> Generator:
         hook_addr = self._hook_addr(record.hook_name)
         prior = yield from self.sync.tx(
             obj_addr=record.code_addr,
@@ -354,10 +442,69 @@ class CodeFlow:
             raise DeployError(f"{program_name!r} is not deployed")
         return record
 
+    # -- recovery support (reconciler) -------------------------------------------
+
+    def reset_after_reboot(self) -> None:
+        """Forget all per-target records after the sandbox warm-rebooted.
+
+        The target wiped its volatile control surface, so every record
+        this handle holds describes unreachable bytes.  Allocators and
+        the scratchpad mirror start over; the epoch drops to 0 so the
+        next :meth:`stamp_epoch` re-fences the target.
+        """
+        manifest = self.manifest
+        self.scratchpad = RemoteScratchpad(
+            manifest.scratchpad_addr,
+            manifest.scratchpad_bytes,
+            manifest.meta_xstate_slots,
+        )
+        self.code_allocator = RegionAllocator(
+            manifest.code_addr, manifest.code_bytes,
+            label=f"{self.sandbox.name}.rcode",
+        )
+        self._metadata_used.clear()
+        self.deployed.clear()
+        self._hook_owner.clear()
+        self.epoch = 0
+
+    def adopt(
+        self,
+        program: BpfProgram,
+        hook_name: str,
+        slot: int,
+        block: MetadataBlock,
+    ) -> DeployedProgram:
+        """Adopt a live remote deployment into this handle's books.
+
+        A restarted control plane's fresh CodeFlow starts with empty
+        records while the target still runs images a previous
+        incarnation deployed.  Adoption reconstructs the
+        :class:`DeployedProgram` record -- reserving the code pages in
+        place -- so ordinary deploy/detach CAS expectations line up
+        with remote reality again.
+        """
+        self.code_allocator.reserve(block.code_addr, block.code_len)
+        self._metadata_used.add(slot)
+        record = DeployedProgram(
+            program=program,
+            hook_name=hook_name,
+            code_addr=block.code_addr,
+            code_len=block.code_len,
+            metadata_slot=slot,
+            version=block.version,
+        )
+        self.deployed[program.name] = record
+        if hook_name:
+            self._hook_owner[hook_name] = program.name
+        return record
+
     # -- rdx_deploy_xstate (§3.4) -------------------------------------------------
 
     def deploy_xstate(
-        self, spec: XStateSpec, initial: Optional[BpfMap] = None
+        self,
+        spec: XStateSpec,
+        initial: Optional[BpfMap] = None,
+        record_intent: bool = True,
     ) -> Generator:
         """Allocate + inject one XState; returns an :class:`XStateHandle`.
 
@@ -366,6 +513,37 @@ class CodeFlow:
         the Meta-XState index entry, then flush so the data path can
         adopt the new state immediately.
         """
+        from repro.core.journal import xstate_spec_detail
+
+        yield from self.check_fence()
+        txn = None
+        if record_intent:
+            plane = self.control_plane
+            txn = plane._mint_txn("xstate")
+            plane.journal.begin(
+                txn, "xstate", plane.epoch,
+                target=self.sandbox.name, spec=xstate_spec_detail(spec),
+            )
+        try:
+            handle = yield from self._deploy_xstate_body(spec, initial)
+        except BaseException as err:
+            if txn is not None and not self.control_plane.crashed:
+                self.control_plane.journal.abort(txn, reason=str(err))
+            raise
+        if txn is not None:
+            # Placement rides along in the COMMIT record so a restarted
+            # control plane can adopt the chunk where it already lives.
+            placed = dict(xstate_spec_detail(spec))
+            placed["meta_index"] = handle.meta_index
+            placed["header_addr"] = handle.header_addr
+            self.control_plane.journal.commit(
+                txn, target=self.sandbox.name, spec=placed
+            )
+        return handle
+
+    def _deploy_xstate_body(
+        self, spec: XStateSpec, initial: Optional[BpfMap]
+    ) -> Generator:
         handle = self.scratchpad.allocate(spec)
         if initial is None:
             initial = BpfMap(
@@ -406,8 +584,24 @@ class CodeFlow:
         )
         return handle
 
-    def destroy_xstate(self, handle: XStateHandle) -> Generator:
+    def destroy_xstate(
+        self, handle: XStateHandle, record_intent: bool = True
+    ) -> Generator:
         """Clear the meta entry and free the chunk."""
+        if record_intent:
+            plane = self.control_plane
+            txn = plane._mint_txn("xstate_destroy")
+            plane.journal.begin(
+                txn, "xstate_destroy", plane.epoch,
+                target=self.sandbox.name, name=handle.name,
+            )
+        yield from self._destroy_xstate_body(handle)
+        if record_intent:
+            plane.journal.commit(
+                txn, target=self.sandbox.name, name=handle.name
+            )
+
+    def _destroy_xstate_body(self, handle: XStateHandle) -> Generator:
         meta_addr = self.scratchpad.meta_entry_addr(handle.meta_index)
         prior = yield from self.sync.cas(meta_addr, handle.header_addr, 0)
         if prior != handle.header_addr:

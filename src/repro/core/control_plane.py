@@ -32,11 +32,10 @@ from repro.rdma.verbs import connect_qps, open_device
 from repro.sandbox.sandbox import Sandbox
 from repro.sim.trace import TraceRecorder
 from repro.core.codeflow import CodeFlow
+from repro.core.journal import IntentJournal
 from repro.core.retry import RetryPolicy
 from repro.core.security import Principal, SecurityPolicy
 from repro.core.sync import RemoteSync
-
-_token_source = itertools.count(0xBEEF_0001)
 
 
 @dataclass
@@ -59,11 +58,28 @@ class RdxControlPlane:
         policy: Optional[SecurityPolicy] = None,
         trace: Optional[TraceRecorder] = None,
         retry: Optional[RetryPolicy] = None,
+        journal: Optional[IntentJournal] = None,
     ):
         self.host = host
         self.sim = host.sim
         self.policy = policy or SecurityPolicy.permissive()
         self.trace = trace or TraceRecorder(enabled=False)
+        #: Durable intent journal (WAL).  Pass a prior incarnation's
+        #: journal to inherit its history; see
+        #: :func:`repro.core.reconcile.resume_control_plane`.
+        self.journal = journal if journal is not None else IntentJournal()
+        #: This incarnation's deployment epoch -- strictly above every
+        #: epoch in the journal, stamped into each target's control
+        #: block and used as a fencing token on every mutation.
+        self.epoch = self.journal.claim_epoch()
+        #: True once :meth:`crash` has run; a crashed incarnation
+        #: abandons all in-flight work mid-step (no cleanup).
+        self.crashed = False
+        #: Per-instance txn-token source.  This used to be a module
+        #: global, so token streams leaked across control planes and
+        #: across runs in one process -- a determinism bug.  Qualifying
+        #: tokens by epoch keeps them unique across incarnations too.
+        self._token_source = itertools.count(0xBEEF_0001)
         #: Transport retry policy inherited by every CodeFlow's sync
         #: layer: transient faults (flaky links, slow-to-ACK targets)
         #: are absorbed with jittered backoff inside each one-sided op,
@@ -79,6 +95,31 @@ class RdxControlPlane:
         self.validations_run = 0
         self.compiles_run = 0
         self.cache_hits = 0
+        self.cache_evictions = 0
+
+    # -- incarnation lifecycle -------------------------------------------------
+
+    def _mint_txn(self, op: str) -> str:
+        """Journal transaction token, unique across incarnations."""
+        return f"{op}-{self.epoch}.{next(self._token_source):x}"
+
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise DeployError("control plane incarnation has crashed")
+
+    def crash(self) -> None:
+        """Model a hard control-plane crash.
+
+        In-flight generator processes must be interrupted *by the
+        caller* (the simulator cannot know which processes belong to
+        this incarnation); this flag makes sure no cleanup path --
+        broadcast's bubble-lowering finally block, abort rollbacks --
+        runs on behalf of a dead process.  Whatever half-applied state
+        the crash strands on targets is the reconciler's problem.
+        """
+        self.crashed = True
+        self.trace.record(self.sim.now, "rdx.control.crash", epoch=self.epoch)
+        self.obs.counter("rdx.control.crashes").inc()
 
     # -- rdx_create_codeflow ---------------------------------------------------
 
@@ -91,6 +132,7 @@ class RdxControlPlane:
         global context (GOT snapshot) over RDMA so linking can happen
         remotely.  Returns the :class:`CodeFlow`.
         """
+        self._check_alive()
         self.policy.check(principal, "create_codeflow", sandbox.name)
         if sandbox.ctx_manifest is None:
             raise DeployError(
@@ -122,6 +164,13 @@ class RdxControlPlane:
                 sync=sync,
                 helper_addresses=manifest.helper_addresses,
             )
+            codeflow._qp_pair = (
+                (self._verbs, local_qp), (target_ctx, target_pd_qp)
+            )
+            # Stamp this incarnation's epoch into the target's control
+            # block; refuses (StaleEpochError) if a newer incarnation
+            # already owns the target.
+            yield from codeflow.stamp_epoch(self.epoch)
         self.codeflows.append(codeflow)
         self.trace.record(
             self.sim.now, "rdx.codeflow.created", target=sandbox.name
@@ -220,6 +269,8 @@ class RdxControlPlane:
         if entry is not None:
             self.cache_hits += 1
             self.obs.counter("rdx.cache.hit").inc()
+            # LRU touch: dict ordering doubles as the recency list.
+            self.registry[key] = self.registry.pop(key)
             return entry
         self.obs.counter("rdx.cache.miss").inc()
         stats = yield from self.validate_code(
@@ -231,6 +282,11 @@ class RdxControlPlane:
         )
         entry = RegistryEntry(program=program, arch=arch, stats=stats, binary=binary)
         self.registry[key] = entry
+        while len(self.registry) > params.RDX_REGISTRY_CAP:
+            victim = next(iter(self.registry))
+            del self.registry[victim]
+            self.cache_evictions += 1
+            self.obs.counter("rdx.cache.evict").inc()
         return entry
 
     def prepare_for(
@@ -268,28 +324,81 @@ class RdxControlPlane:
         principal: Optional[Principal] = None,
         retain_history: bool = True,
         parent_span: Optional[Span] = None,
+        record_intent: bool = True,
     ) -> Generator:
-        """prepare -> link -> deploy; returns the DeployReport."""
+        """prepare -> link -> deploy; returns the DeployReport.
+
+        Unless ``record_intent`` is off (broadcast journals at the
+        transaction level instead), the deploy is WAL-journaled:
+        INTEND before any target byte moves, COMMIT only after the
+        hook flip lands.  A crash between the two leaves an in-flight
+        record the reconciler cleans up.
+        """
+        self._check_alive()
         self.policy.check(principal, "deploy", codeflow.sandbox.name)
-        with self.obs.span(
-            "rdx.inject", parent=parent_span,
-            program=program.name, target=codeflow.sandbox.name,
-        ) as span:
-            entry = yield from self.prepare_for(
-                codeflow, program, maps=maps, principal=principal,
-                parent_span=span,
+        txn = None
+        tag = program.tag()
+        if record_intent:
+            self.journal.record_program(program)
+            txn = self._mint_txn("deploy")
+            self.journal.begin(
+                txn, "deploy", self.epoch,
+                target=codeflow.sandbox.name, hook=hook_name,
+                name=program.name, tag=tag,
             )
-            mark = self.sim.now
-            linked = yield from codeflow.link_code(entry.binary, parent_span=span)
-            link_us = self.sim.now - mark
-            report = yield from codeflow.deploy_prog(
-                program, linked, hook_name, retain_history=retain_history,
-                parent_span=span,
+        try:
+            with self.obs.span(
+                "rdx.inject", parent=parent_span,
+                program=program.name, target=codeflow.sandbox.name,
+            ) as span:
+                entry = yield from self.prepare_for(
+                    codeflow, program, maps=maps, principal=principal,
+                    parent_span=span,
+                )
+                if txn is not None:
+                    self.journal.phase(txn, "prepared")
+                mark = self.sim.now
+                linked = yield from codeflow.link_code(
+                    entry.binary, parent_span=span
+                )
+                link_us = self.sim.now - mark
+                report = yield from codeflow.deploy_prog(
+                    program, linked, hook_name, retain_history=retain_history,
+                    parent_span=span,
+                )
+        except BaseException as err:
+            if txn is not None and not self.crashed:
+                self.journal.abort(txn, reason=str(err))
+            raise
+        if txn is not None:
+            self.journal.commit(
+                txn, target=codeflow.sandbox.name, hook=hook_name,
+                name=program.name, tag=tag,
             )
         report.link_us = link_us
         report.total_us += link_us
         entry.deploy_count += 1
         return report
+
+    # -- teardown ----------------------------------------------------------------
+
+    def close_codeflow(self, codeflow: CodeFlow) -> None:
+        """Tear down a CodeFlow: release its QP pair, drop the handle.
+
+        Local bookkeeping only -- no remote bytes move, so the target
+        keeps running whatever is deployed.  Use :meth:`CodeFlow.detach`
+        first for a clean remote teardown.
+        """
+        if codeflow not in self.codeflows:
+            raise DeployError(
+                f"codeflow for {codeflow.sandbox.name} is not open "
+                "on this control plane"
+            )
+        codeflow.close()
+        self.codeflows.remove(codeflow)
+        self.trace.record(
+            self.sim.now, "rdx.codeflow.closed", target=codeflow.sandbox.name
+        )
 
 
 class _GeometryOnly:

@@ -129,7 +129,9 @@ class FaultInjector:
             self._record(kind, "flush dropped in-flight")
             return _HookAction(drop=True)
         if kind is FaultKind.STALE_READ:
-            if op != "read":
+            # Stale reads target the bulk verify readback, not the tiny
+            # 8-byte control reads (epoch fences, bubble flags).
+            if op != "read" or not self._in_code_region(addr):
                 return None
             self._record(kind, "read served stale bytes")
             return _HookAction(drop=True)
@@ -174,8 +176,19 @@ class FaultInjector:
         self._record(FaultKind.NODE_CRASH, "host fail-stopped", armed=False)
         self.codeflow.sandbox.host.crash()
 
-    def recover_target(self) -> None:
+    def recover_target(self, reboot: bool = False) -> None:
+        """Bring the target host back.
+
+        ``reboot=True`` additionally warm-reboots the sandbox runtime:
+        the process comes back with its volatile control surface wiped
+        (hooks, metadata, epoch, Meta-XState index) even though DRAM
+        survived -- the realistic post-crash state an anti-entropy
+        reconciler must repair before the target serves traffic again.
+        """
         self.codeflow.sandbox.host.recover()
+        if reboot:
+            self.codeflow.sandbox.warm_reboot()
+            self.codeflow.reset_after_reboot()
 
     def partition_target(self) -> None:
         """Sever the control-plane <-> target link (both directions)."""

@@ -1,0 +1,190 @@
+"""Lease-based target health detection over one-sided reads.
+
+RDMA completions are not delivery guarantees, and the absence of a
+completion is not a death certificate -- the initiator cannot tell a
+crashed host from a slow link.  So health is a *lease*: each target
+holds a lease that a successful heartbeat read renews.  Miss one
+renewal and the target turns SUSPECT; miss enough and it is declared
+DEAD.  A single successful read at any point snaps it back to ALIVE --
+truth comes from reading remote state, never from local bookkeeping.
+
+The heartbeat is an 8-byte one-sided READ of the sandbox control
+block: no target CPU, no agent, and the same fencing word the epoch
+protocol uses, so a probe doubles as a stale-epoch tripwire.
+
+Consumers:
+
+* ``rdx_broadcast`` fails SUSPECT/DEAD legs *immediately* instead of
+  burning a full per-leg deadline on each one (graceful degradation
+  around known-sick targets);
+* the anti-entropy reconciler skips DEAD targets and schedules them
+  for repair when they return.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro import params
+from repro.errors import ReproError
+from repro.obs import telemetry_of
+from repro.core.codeflow import CodeFlow
+from repro.core.retry import RetryPolicy
+
+
+class TargetHealth(enum.Enum):
+    """Lease states, ordered by decreasing confidence."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass
+class LeaseState:
+    """One target's lease bookkeeping."""
+
+    target: str
+    health: TargetHealth = TargetHealth.ALIVE
+    #: Simulated time of the last successful heartbeat.
+    renewed_us: float = 0.0
+    consecutive_misses: int = 0
+    probes: int = 0
+    transitions: int = 0
+
+
+class HealthDetector:
+    """Per-target ALIVE -> SUSPECT -> DEAD lease tracking.
+
+    ``suspect_after`` / ``dead_after`` are consecutive-miss thresholds;
+    the probe itself is bounded by a tight retry policy (one transport
+    attempt -- the *lease*, not the transport layer, owns patience
+    here, so a probe against a dead host costs one RDMA timeout, not a
+    full backoff ladder).
+    """
+
+    def __init__(
+        self,
+        codeflows,
+        interval_us: float = params.HEALTH_PROBE_INTERVAL_US,
+        suspect_after: int = params.HEALTH_SUSPECT_MISSES,
+        dead_after: int = params.HEALTH_DEAD_MISSES,
+    ):
+        if suspect_after < 1 or dead_after < suspect_after:
+            raise ValueError(
+                f"need 1 <= suspect_after <= dead_after, got "
+                f"{suspect_after}/{dead_after}"
+            )
+        self.codeflows = {cf.sandbox.name: cf for cf in codeflows}
+        self.sim = next(iter(self.codeflows.values())).sim
+        self.obs = telemetry_of(self.sim)
+        self.interval_us = interval_us
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.leases: dict[str, LeaseState] = {
+            name: LeaseState(target=name, renewed_us=self.sim.now)
+            for name in self.codeflows
+        }
+        #: Single-attempt probe policy: misses are lease business.
+        self._probe_retry = RetryPolicy(max_attempts=1, jitter_frac=0.0)
+
+    # -- queries ---------------------------------------------------------
+
+    def state_of(self, target: str) -> TargetHealth:
+        return self.leases[target].health
+
+    def lease_of(self, target: str) -> LeaseState:
+        return self.leases[target]
+
+    def alive(self) -> list[str]:
+        return sorted(
+            name
+            for name, lease in self.leases.items()
+            if lease.health is TargetHealth.ALIVE
+        )
+
+    def unhealthy(self) -> list[str]:
+        return sorted(
+            name
+            for name, lease in self.leases.items()
+            if lease.health is not TargetHealth.ALIVE
+        )
+
+    # -- probing ---------------------------------------------------------
+
+    def probe(self, target: str) -> Generator:
+        """One heartbeat: read the target's control block; returns health.
+
+        Success renews the lease (any state snaps back to ALIVE); a
+        failed read is a miss that walks ALIVE -> SUSPECT -> DEAD.
+        """
+        codeflow = self.codeflows[target]
+        lease = self.leases[target]
+        lease.probes += 1
+        self.obs.counter("rdx.health.probes", target=target).inc()
+        saved_retry, codeflow.sync.retry = (
+            codeflow.sync.retry, self._probe_retry
+        )
+        try:
+            with self.obs.span("rdx.health.probe", target=target):
+                yield from codeflow.sync.read(
+                    codeflow.sandbox.control_addr, 8
+                )
+        except ReproError:
+            self._miss(lease)
+        else:
+            self._renew(lease)
+        finally:
+            codeflow.sync.retry = saved_retry
+        return lease.health
+
+    def probe_all(self) -> Generator:
+        """Heartbeat every target once, in parallel; returns the states."""
+        probes = [
+            self.sim.spawn(self.probe(name), name=f"hb:{name}")
+            for name in sorted(self.codeflows)
+        ]
+        yield self.sim.all_of(probes)
+        return {name: lease.health for name, lease in self.leases.items()}
+
+    def monitor(
+        self, duration_us: float, interval_us: Optional[float] = None
+    ) -> Generator:
+        """Background lease loop: probe every target each interval."""
+        interval = interval_us or self.interval_us
+        end = self.sim.now + duration_us
+        while self.sim.now < end:
+            yield self.sim.timeout(interval)
+            yield from self.probe_all()
+        return {name: lease.health for name, lease in self.leases.items()}
+
+    # -- lease mechanics -------------------------------------------------
+
+    def _renew(self, lease: LeaseState) -> None:
+        lease.renewed_us = self.sim.now
+        lease.consecutive_misses = 0
+        self._transition(lease, TargetHealth.ALIVE)
+
+    def _miss(self, lease: LeaseState) -> None:
+        lease.consecutive_misses += 1
+        self.obs.counter("rdx.health.misses", target=lease.target).inc()
+        if lease.consecutive_misses >= self.dead_after:
+            self._transition(lease, TargetHealth.DEAD)
+        elif lease.consecutive_misses >= self.suspect_after:
+            self._transition(lease, TargetHealth.SUSPECT)
+
+    def _transition(self, lease: LeaseState, health: TargetHealth) -> None:
+        if lease.health is health:
+            return
+        self.obs.counter(
+            "rdx.health.transitions",
+            target=lease.target,
+            to=health.value,
+        ).inc()
+        lease.health = health
+        lease.transitions += 1
+        self.obs.gauge("rdx.health.state", target=lease.target).set(
+            {"alive": 0, "suspect": 1, "dead": 2}[health.value]
+        )

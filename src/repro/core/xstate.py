@@ -151,6 +151,30 @@ class RemoteScratchpad:
         self._by_name[spec.name] = handle
         return handle
 
+    def adopt(
+        self, spec: XStateSpec, meta_index: int, header_addr: int
+    ) -> XStateHandle:
+        """Record an XState that already exists remotely (recovery path).
+
+        A restarted control plane rebuilding its scratchpad mirror from
+        the journal reserves the chunk in place rather than allocating
+        a fresh one, so the handle's addresses match remote reality.
+        """
+        if spec.name in self._by_name:
+            raise XStateError(f"XState {spec.name!r} already deployed")
+        if meta_index in self._entries:
+            raise XStateError(f"meta slot {meta_index} already tracked")
+        self.allocator.reserve(header_addr, spec.total_bytes())
+        handle = XStateHandle(
+            spec=spec,
+            meta_index=meta_index,
+            header_addr=header_addr,
+            data_addr=header_addr + params.XSTATE_HEADER_BYTES,
+        )
+        self._entries[meta_index] = handle
+        self._by_name[spec.name] = handle
+        return handle
+
     def release(self, handle: XStateHandle) -> None:
         """Free the meta slot + chunk (destroy path)."""
         if self._entries.get(handle.meta_index) is not handle:

@@ -92,6 +92,17 @@ class BroadcastAborted(ConsistencyError):
         self.result = result
 
 
+class StaleEpochError(DeployError):
+    """A control plane with a superseded deployment epoch tried to write.
+
+    The target's control block carries a newer epoch than the writer's,
+    meaning another control-plane incarnation has taken over since this
+    one last talked to the target (crash restart, partition failover).
+    The write is fenced out *before* any byte lands; the stale writer
+    must stand down and re-resume from the journal.
+    """
+
+
 class SecurityError(ReproError):
     """RBAC / signature / runtime-limit violation."""
 

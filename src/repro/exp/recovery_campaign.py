@@ -1,0 +1,305 @@
+"""Recovery campaign: crash the control plane and put it back together.
+
+Three scenarios, each ending in the same invariant -- after any
+injected control-plane crash, node reboot, or partition heal,
+anti-entropy reconciliation converges every target back to the
+journal's committed intent (clean audits, correct epoch) and no
+stale-writer deploy ever lands:
+
+1. **control-plane crash mid-broadcast** -- the incarnation dies with
+   bubbles raised, legs half-deployed and a dangling INTEND in the
+   WAL.  A successor replays the journal, fences the targets with its
+   epoch, adopts what survived, detaches the orphaned half-work and
+   lowers the stranded bubbles;
+2. **node crash, then warm reboot** -- the target comes back with its
+   volatile control surface wiped.  The lease detector walks it to
+   DEAD (broadcasts degrade around it instead of timing out), then
+   reconciliation rebuilds it from the journal and traffic resumes;
+3. **partition, then stale-writer fencing** -- a standby control host
+   takes over while the old incarnation is partitioned away.  When the
+   partition heals, the old plane's broadcast must bounce off the
+   epoch fence: every leg fails with ``StaleEpochError``, nothing
+   lands.
+
+``RDX_FAULT_SEED`` reseeds the fault schedule in CI so the invariant
+is checked under several timings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.broadcast import CodeFlowGroup
+from repro.core.faults import FaultInjector
+from repro.core.health import HealthDetector, TargetHealth
+from repro.core.reconcile import Reconciler, resume_control_plane
+from repro.ebpf.stress import make_stress_program
+from repro.errors import BroadcastAborted
+from repro.exp.harness import Testbed, format_table, make_testbed
+from repro.net.topology import Host
+
+
+@dataclass
+class ScenarioResult:
+    """One recovery scenario's outcome."""
+
+    name: str
+    seed: int
+    #: Every reconciled target converged to committed intent.
+    converged: bool = False
+    #: Closing audits were clean on every target.
+    audits_clean: bool = False
+    #: No bubble flag left raised once recovery finished.
+    bubbles_clear: bool = False
+    #: Scenario 3 only: the stale incarnation's write never landed.
+    fenced: bool = False
+    repairs: int = 0
+    rebooted_targets: int = 0
+    aborted_txns: int = 0
+    recovery_us: float = 0.0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.converged and self.audits_clean and self.bubbles_clear
+
+
+@dataclass
+class RecoveryCampaignResult:
+    n_hosts: int
+    seed: int
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.scenarios) and all(s.ok for s in self.scenarios)
+
+
+def _programs(bed: Testbed, version: int, insns: int = 200):
+    return [
+        make_stress_program(insns, seed=version * 31 + i, name=f"rec{i}")
+        for i in range(len(bed.codeflows))
+    ]
+
+
+def _bubbles_clear(bed: Testbed) -> bool:
+    return all(not sb.bubble_active() for sb in bed.sandboxes)
+
+
+def _finish(result: ScenarioResult, bed: Testbed, reports) -> None:
+    result.converged = all(r.converged for r in reports)
+    result.audits_clean = all(
+        r.audit is not None and r.audit.clean for r in reports
+    )
+    result.bubbles_clear = _bubbles_clear(bed)
+    result.repairs = sum(len(r.actions) for r in reports)
+    result.rebooted_targets = sum(1 for r in reports if r.rebooted)
+    result.detail = "; ".join(
+        f"{r.target}:{'+'.join(a.kind for a in r.actions) or 'noop'}"
+        for r in reports
+    )
+
+
+def _serving(bed: Testbed) -> bool:
+    """Every target answers data-path traffic with its extension."""
+    for sandbox in bed.sandboxes:
+        execution, _ = sandbox.run_hook("ingress", bytes(256))
+        if execution is None:
+            return False
+    return True
+
+
+def scenario_control_plane_crash(bed: Testbed, seed: int) -> ScenarioResult:
+    """Kill the incarnation mid-broadcast; a successor reconciles."""
+    result = ScenarioResult(name="control-plane crash mid-broadcast", seed=seed)
+    rng = random.Random(seed)
+    group = CodeFlowGroup(bed.codeflows)
+    bed.sim.run_process(group.broadcast(_programs(bed, 1), "ingress"))
+
+    # Launch the v2 broadcast, then fail-stop the control plane at a
+    # random instant inside it: no cleanup runs, bubbles stay raised,
+    # the WAL keeps a dangling INTEND.
+    proc = bed.sim.spawn(
+        group.broadcast(_programs(bed, 2), "ingress"), name="doomed-broadcast"
+    )
+    bed.sim.run(until=bed.sim.now + 20.0 + rng.uniform(0.0, 300.0))
+    crashed_mid_flight = proc.is_alive
+    bed.control.crash()
+    proc.interrupt("control plane fail-stop")
+    bed.sim.run()
+
+    started = bed.sim.now
+    plane, codeflows = bed.sim.run_process(
+        resume_control_plane(
+            bed.cluster.control_host, bed.control.journal, bed.sandboxes,
+            trace=bed.trace,
+        )
+    )
+    reconciler = Reconciler(plane)
+    reports = bed.sim.run_process(reconciler.reconcile_all(codeflows))
+    result.recovery_us = bed.sim.now - started
+    result.aborted_txns = sum(
+        1 for record in plane.journal.records if record.rec == "ABORT"
+    )
+    if crashed_mid_flight and not result.aborted_txns:
+        result.detail += "; dangling INTEND was never aborted"
+    _finish(result, bed, reports)
+    if not _serving(bed):
+        result.converged = False
+        result.detail += "; data path dead after recovery"
+    # Hand the repaired cluster back for follow-on scenarios.
+    bed.control, bed.codeflows = plane, codeflows
+    return result
+
+
+def scenario_node_reboot(bed: Testbed, seed: int) -> ScenarioResult:
+    """Crash a node, degrade around it, warm-reboot it, repair it."""
+    result = ScenarioResult(name="node crash + warm reboot", seed=seed)
+    rng = random.Random(seed + 1)
+    group = CodeFlowGroup(bed.codeflows)
+    health = HealthDetector(bed.codeflows)
+    bed.sim.run_process(group.broadcast(_programs(bed, 3), "ingress"))
+
+    victim = rng.randrange(len(bed.codeflows))
+    injector = FaultInjector(bed.codeflows[victim], seed=seed)
+    injector.crash_target()
+    # Walk the victim's lease to DEAD; broadcasts now degrade around it
+    # (one free leg failure) instead of burning its per-leg deadline.
+    for _ in range(health.dead_after):
+        bed.sim.run_process(health.probe_all())
+    degraded = bed.sim.run_process(
+        group.broadcast(
+            _programs(bed, 4), "ingress", allow_partial=True, health=health
+        )
+    )
+    assert degraded.degraded, "broadcast did not degrade around DEAD lease"
+
+    # The node returns with DRAM intact but its control surface wiped.
+    injector.recover_target(reboot=True)
+    bed.sim.run_process(health.probe_all())
+
+    started = bed.sim.now
+    reconciler = Reconciler(bed.control, health=health)
+    reports = bed.sim.run_process(reconciler.reconcile_all(bed.codeflows))
+    result.recovery_us = bed.sim.now - started
+    _finish(result, bed, reports)
+    if health.state_of(bed.codeflows[victim].sandbox.name) is not TargetHealth.ALIVE:
+        result.converged = False
+        result.detail += "; victim lease never returned to ALIVE"
+    if not _serving(bed):
+        result.converged = False
+        result.detail += "; data path dead after recovery"
+    return result
+
+
+def scenario_partition_fencing(bed: Testbed, seed: int) -> ScenarioResult:
+    """Fail over during a partition; the old writer must be fenced."""
+    result = ScenarioResult(name="partition + stale-writer fencing", seed=seed)
+    group = CodeFlowGroup(bed.codeflows)
+    bed.sim.run_process(group.broadcast(_programs(bed, 5), "ingress"))
+    old_plane = bed.control
+    fabric = bed.cluster.fabric
+
+    # Partition the old control host from every data host, then fail
+    # over to a standby control host on the healthy side.
+    for sandbox in bed.sandboxes:
+        fabric.partition(old_plane.host.name, sandbox.host.name)
+    standby = Host(
+        bed.sim, "control-standby", cores=8, dram_bytes=64 * 2**20,
+        seed=seed,
+    )
+    fabric.attach(standby)
+    plane, codeflows = bed.sim.run_process(
+        resume_control_plane(
+            standby, old_plane.journal, bed.sandboxes, trace=bed.trace
+        )
+    )
+    reconciler = Reconciler(plane)
+    reports = bed.sim.run_process(reconciler.reconcile_all(codeflows))
+    _finish(result, bed, reports)
+
+    # Heal the partition.  The old incarnation -- which never crashed,
+    # it was only unreachable -- tries to push one more version.  Every
+    # leg must bounce off the epoch fence before any byte lands.
+    for sandbox in bed.sandboxes:
+        fabric.heal(old_plane.host.name, sandbox.host.name)
+    hooks_before = [
+        sb.host.memory.read(sb.hook_table.slot_addr("ingress"), 8)
+        for sb in bed.sandboxes
+    ]
+    stale = bed.sim.spawn(
+        group.broadcast(_programs(bed, 6), "ingress"), name="stale-broadcast"
+    )
+    bed.sim.run()
+    try:
+        _ = stale.value
+    except BroadcastAborted as err:
+        outcomes = err.result.outcomes
+        result.fenced = all(
+            outcome.error_kind == "StaleEpochError" for outcome in outcomes
+        )
+        result.detail += f"; stale legs: {[o.error_kind for o in outcomes]}"
+    else:
+        result.fenced = False
+        result.detail += "; stale broadcast was not rejected"
+    hooks_after = [
+        sb.host.memory.read(sb.hook_table.slot_addr("ingress"), 8)
+        for sb in bed.sandboxes
+    ]
+    if hooks_before != hooks_after:
+        result.fenced = False
+        result.detail += "; a stale write landed on a hook"
+    result.bubbles_clear = result.bubbles_clear and _bubbles_clear(bed)
+    if not result.fenced:
+        result.converged = False
+    bed.control, bed.codeflows = plane, codeflows
+    return result
+
+
+def run_recovery_campaign(
+    n_hosts: int = 3, seed: int = 0, testbed=None
+) -> RecoveryCampaignResult:
+    """Run all three recovery scenarios on one shared testbed."""
+    bed = testbed or make_testbed(n_hosts=n_hosts, cores_per_host=8, seed=seed)
+    result = RecoveryCampaignResult(n_hosts=n_hosts, seed=seed)
+    result.scenarios.append(scenario_control_plane_crash(bed, seed))
+    result.scenarios.append(scenario_node_reboot(bed, seed))
+    result.scenarios.append(scenario_partition_fencing(bed, seed))
+    return result
+
+
+def format_recovery_report(result: RecoveryCampaignResult) -> str:
+    rows = [
+        [
+            s.name,
+            "yes" if s.converged else "NO",
+            "yes" if s.audits_clean else "NO",
+            "yes" if s.bubbles_clear else "NO",
+            s.repairs,
+            f"{s.recovery_us:.1f}",
+        ]
+        for s in result.scenarios
+    ]
+    verdict = "PASS" if result.ok else "FAIL"
+    return format_table(
+        f"RDX recovery campaign ({result.n_hosts} hosts, "
+        f"seed {result.seed}): {verdict}",
+        ["scenario", "converged", "audits", "bubbles", "repairs", "t_us"],
+        rows,
+        note="invariant: reconciliation converges every target to the "
+        "journal's committed intent; no stale-writer deploy ever lands",
+    )
+
+
+def main() -> int:
+    import os
+
+    seed = int(os.environ.get("RDX_FAULT_SEED", "0"))
+    result = run_recovery_campaign(seed=seed)
+    print(format_recovery_report(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

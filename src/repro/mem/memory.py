@@ -200,6 +200,32 @@ class RegionAllocator:
             f"{self.label}: out of space (want {size}, free {self.bytes_free})"
         )
 
+    def reserve(self, addr: int, size: int) -> int:
+        """Claim a specific ``[addr, addr+size)`` range from the free list.
+
+        For adopting allocations that already exist in the underlying
+        memory -- e.g. a restarted control plane discovering live code
+        images on a target it must re-own without moving them.  Raises
+        :class:`MemoryError_` when the range is not wholly free.
+        """
+        if size <= 0:
+            raise ValueError("reservation size must be positive")
+        for index, (start, free_size) in enumerate(self._free):
+            if start <= addr and addr + size <= start + free_size:
+                pieces = []
+                if addr > start:
+                    pieces.append((start, addr - start))
+                tail = start + free_size - (addr + size)
+                if tail:
+                    pieces.append((addr + size, tail))
+                self._free[index : index + 1] = pieces
+                self._live[addr] = size
+                return addr
+        raise MemoryError_(
+            f"{self.label}: cannot reserve {addr:#x}+{size} "
+            "(overlaps a live allocation or lies outside the window)"
+        )
+
     def free(self, addr: int) -> None:
         """Release a previous allocation (must be an exact start address)."""
         size = self._live.pop(addr, None)

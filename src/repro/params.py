@@ -68,6 +68,20 @@ RETRY_BACKOFF_MAX_US = 64.0
 #: or partitioned target exhausts it.
 BROADCAST_TARGET_DEADLINE_US = 50_000.0
 
+#: Lease-based health detection (control-plane survivability layer).
+#: Heartbeat = one 8-byte one-sided READ of the sandbox control block.
+HEALTH_PROBE_INTERVAL_US = 5_000.0
+#: Consecutive heartbeat misses before a target turns SUSPECT / DEAD.
+#: One miss is already suspicious -- a healthy in-rack read never
+#: misses -- but death needs corroboration (slow link != crash).
+HEALTH_SUSPECT_MISSES = 1
+HEALTH_DEAD_MISSES = 3
+
+#: Max (tag, arch) entries the control plane's compile cache retains.
+#: LRU beyond this: long-lived reconciler loops touch many one-off
+#: programs and must not grow the registry without bound.
+RDX_REGISTRY_CAP = 128
+
 #: TCP/gRPC request latency floor for control RPCs (agent path), us.
 #: Kernel network stack both sides + protobuf handling.
 RPC_BASE_LATENCY_US = 55.0

@@ -50,6 +50,17 @@ class VerbsContext:
         self._qps.append(qp)
         return qp
 
+    def destroy_qp(self, qp: QueuePair) -> None:
+        """ibv_destroy_qp: drain to RESET and sever the connection."""
+        if qp not in self._qps:
+            raise RdmaError("QP does not belong to this context")
+        if qp.state is not QpState.RESET:
+            qp.modify(QpState.RESET)
+        if qp.remote is not None and qp.remote.remote is qp:
+            qp.remote.remote = None
+        qp.remote = None
+        self._qps.remove(qp)
+
     @property
     def qp_count(self) -> int:
         return len(self._qps)

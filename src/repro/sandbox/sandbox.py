@@ -100,8 +100,10 @@ class Sandbox:
         self.sandbox_id = next(_sandbox_ids)
         self.name = name or f"{host.name}.sb{self.sandbox_id}"
         self.arch = arch
+        self._hooks = tuple(hooks)
         self.crashed = False
         self.crash_reason = ""
+        self.reboots = 0
 
         allocate = host.allocator.alloc
         self.control_addr = allocate(CONTROL_BLOCK_BYTES, align=64)
@@ -212,6 +214,44 @@ class Sandbox:
             },
         )
         return self.ctx_manifest
+
+    def warm_reboot(self) -> None:
+        """Restart the sandbox runtime with DRAM intact (warm reboot).
+
+        What a process restart on a recovered host looks like: the
+        *volatile* control surface -- control block (epoch included),
+        hook pointers, metadata descriptors, the Meta-XState index --
+        comes back zeroed by a fresh ``ctx_init``, while old code
+        images and XState chunks survive in DRAM as unreachable bytes.
+        The MR registration is re-established at the same addresses,
+        so the boot manifest stays valid and a control plane can
+        repair the surface one-sidedly (see
+        :class:`repro.core.reconcile.Reconciler`).
+        """
+        # A reboot leaves no process-lifetime cache lines behind: any
+        # address the old incarnation had cached (and that a repair may
+        # now reuse) must be re-read from DRAM.
+        self.host.cache.flush_all()
+        cpu_write = self.host.cache.cpu_write
+        cpu_write(self.control_addr, bytes(CONTROL_BLOCK_BYTES))
+        cpu_write(
+            self.hook_table.base_addr, bytes(params.SANDBOX_HOOK_SLOTS * 8)
+        )
+        cpu_write(
+            self.scratchpad_base,
+            bytes(params.XSTATE_META_SLOTS * params.XSTATE_META_ENTRY_BYTES),
+        )
+        self.code_allocator = RegionAllocator(
+            self.code_base, self.code_bytes, label=f"{self.name}.code"
+        )
+        self.maps = []
+        self._maps_by_addr = {}
+        self._code_len_by_addr = {}
+        self._decode_cache = {}
+        self.crashed = False
+        self.crash_reason = ""
+        self.reboots += 1
+        self._ctx_init(self._hooks)
 
     def ctx_teardown(self, prog_id: int) -> bool:
         """ctx_teardown: drop one reference; detach at zero (§3.1)."""

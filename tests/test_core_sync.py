@@ -34,7 +34,9 @@ class TestRawOps:
         assert prior2 == 5  # second CAS failed
 
     def test_fetch_add(self, testbed):
-        addr = testbed.sandbox.epoch_addr
+        # The epoch word now carries the control plane's fencing token,
+        # so borrow the (still-zero) bubble word as the scratch qword.
+        addr = testbed.sandbox.bubble_addr
 
         def flow():
             yield from testbed.codeflow.sync.fetch_add(addr, 3)
@@ -88,7 +90,7 @@ class TestRdxTx:
 
     def test_tx_cas_abort_on_mismatch(self, testbed):
         addr = testbed.codeflow.manifest.scratchpad_addr
-        qword = testbed.sandbox.epoch_addr
+        qword = testbed.sandbox.bubble_addr
 
         def flow():
             prior = yield from testbed.codeflow.sync.tx(
@@ -107,7 +109,7 @@ class TestRdxTx:
 
         def flow():
             yield from testbed.codeflow.sync.tx(
-                obj_addr=addr, obj_bytes=b"y", qword_addr=testbed.sandbox.epoch_addr,
+                obj_addr=addr, obj_bytes=b"y", qword_addr=testbed.sandbox.bubble_addr,
                 new_qword=1, expect=0,
             )
 

@@ -53,11 +53,12 @@ class TestTable1Api:
             assert linked.is_linked
             # rdx_deploy_prog
             report = yield from rdx_deploy_prog(handle, program, "ingress")
-            # rdx_tx on the epoch counter
+            # rdx_tx on the epoch counter (create_codeflow already
+            # stamped incarnation epoch 1 into it)
             prior = yield from rdx_tx(
-                handle, b"", 0, handle.sandbox.epoch_addr, 1, expect=0
+                handle, b"", 0, handle.sandbox.epoch_addr, 2, expect=1
             )
-            assert prior == 0
+            assert prior == 1
             # rdx_cc_event on the epoch line
             yield from rdx_cc_event(handle, handle.sandbox.epoch_addr, 8)
             # rdx_mutual_excl
@@ -68,7 +69,7 @@ class TestTable1Api:
 
         handle, xstate, report = bed.sim.run_process(flow())
         assert report.total_us > 0
-        assert handle.sandbox.epoch() == 1
+        assert handle.sandbox.epoch() == 2
 
         # Data path runs the deployed extension against deployed state.
         ctx = bytes(range(256))
