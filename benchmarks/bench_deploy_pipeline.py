@@ -1,0 +1,119 @@
+"""Deploy fast-path ablation: pipelined WR chains vs the serial path.
+
+The pipelined path (``RDX_PIPELINED_DEPLOY=1``, the default) chains the
+image + metadata writes behind one doorbell with selective signaling,
+commits with a bare CAS ordered by the chain completion, serves links
+from the layout-fingerprinted image cache, and runs broadcast prepare
+legs concurrently under single-flight compile dedup.  The serial
+ablation (``RDX_PIPELINED_DEPLOY=0``) is the pre-optimization path:
+one WR, one doorbell, one blocked completion per op.
+
+Mode selection mirrors CI's matrix: with ``RDX_PIPELINED_DEPLOY``
+unset, both arms run in-process and the >= 2x speedup floor is
+asserted here; with the variable set, only that arm runs (CI's
+``perf-compare`` job then joins the two artifacts).
+
+Results land in ``BENCH_deploy_pipeline.json`` (rows of
+``{bench, metric, value, unit, sim_time}``) under ``$RDX_BENCH_DIR``.
+"""
+
+import os
+
+from repro.exp.deploy_pipeline import run_deploy_pipeline
+from repro.exp.harness import format_table, write_bench_json
+
+#: The acceptance floor: the fast path must at least halve both the
+#: warm single-target deploy latency and the 8-target bubble window.
+MIN_SPEEDUP = 2.0
+
+
+def _modes_from_env():
+    value = os.environ.get("RDX_PIPELINED_DEPLOY")
+    if value is None:
+        return ("pipelined", "serial")
+    if value in ("0", "false", "no"):
+        return ("serial",)
+    return ("pipelined",)
+
+
+def test_bench_deploy_pipeline(benchmark):
+    modes = _modes_from_env()
+    result = benchmark.pedantic(
+        run_deploy_pipeline, kwargs={"modes": modes}, rounds=1, iterations=1
+    )
+
+    table_rows = []
+    json_rows = []
+    for name, mode in result.modes.items():
+        for metric, value, unit in (
+            ("deploy_cold_us", mode.deploy_cold_us, "us"),
+            ("deploy_warm_us", mode.deploy_warm_us, "us"),
+            ("bubble_window_us", mode.bubble_window_us, "us"),
+            ("broadcast_total_us", mode.broadcast_total_us, "us"),
+            ("compiles_run", mode.compiles_run, "count"),
+            ("prepare_coalesced", mode.prepare_coalesced, "count"),
+            ("link_cache_hits", mode.link_cache_hits, "count"),
+            ("link_cache_misses", mode.link_cache_misses, "count"),
+            ("wrs_per_doorbell_p50", mode.wrs_per_doorbell_p50, "wrs"),
+        ):
+            table_rows.append((name, metric, value))
+            json_rows.append(
+                {
+                    "metric": f"{name}.{metric}",
+                    "value": value,
+                    "unit": unit,
+                    "sim_time": mode.sim_time_us,
+                }
+            )
+
+    note = ""
+    if result.deploy_speedup is not None:
+        json_rows.append(
+            {"metric": "speedup.deploy_warm", "value": result.deploy_speedup,
+             "unit": "x"}
+        )
+        json_rows.append(
+            {"metric": "speedup.bubble_window", "value": result.window_speedup,
+             "unit": "x"}
+        )
+        note = (
+            f"speedup: warm deploy {result.deploy_speedup:.2f}x, "
+            f"bubble window {result.window_speedup:.2f}x "
+            f"(floor: {MIN_SPEEDUP:.1f}x)"
+        )
+    path = write_bench_json("deploy_pipeline", json_rows)
+
+    print()
+    print(
+        format_table(
+            f"Deploy fast path -- {result.insn_size} insns, "
+            f"{result.n_targets}-target broadcast",
+            ["mode", "metric", "value"],
+            table_rows,
+            note=note,
+        )
+    )
+    print(f"results: {path}")
+
+    for name, mode in result.modes.items():
+        benchmark.extra_info[f"{name}_deploy_warm_us"] = mode.deploy_warm_us
+        benchmark.extra_info[f"{name}_bubble_window_us"] = mode.bubble_window_us
+        # Registry dedup holds per arm: v1 + v2 compile exactly once
+        # each no matter how many targets asked.
+        assert mode.compiles_run == 2
+        assert mode.bubble_window_us > 0
+        assert mode.deploy_warm_us <= mode.deploy_cold_us
+
+    fast = result.modes.get("pipelined")
+    if fast is not None:
+        # The chain + caches actually engaged on the fast arm.
+        assert fast.wrs_per_doorbell_p50 >= 2
+        assert fast.prepare_coalesced > 0
+        assert fast.link_cache_hits > 0
+    slow = result.modes.get("serial")
+    if slow is not None:
+        assert slow.link_cache_hits == 0  # ablation: cache disabled
+
+    if result.deploy_speedup is not None:
+        assert result.deploy_speedup >= MIN_SPEEDUP
+        assert result.window_speedup >= MIN_SPEEDUP

@@ -8,7 +8,7 @@ simulated counterpart of the paper's Fig 4b deploy bar.
 """
 
 from repro.exp.fig4b import PAPER, run_fig4b
-from repro.exp.harness import format_table, make_testbed
+from repro.exp.harness import format_table, make_testbed, write_bench_json
 
 
 def test_bench_fig4b(benchmark):
@@ -54,6 +54,28 @@ def test_bench_fig4b(benchmark):
         )
     )
     deploy = registry.get("rdx.deploy.latency_us")
+    json_rows = [
+        {"metric": f"{path}.{phase}_us", "value": us, "unit": "us",
+         "sim_time": bed.sim.now}
+        for path, phases in (
+            ("agent", result.agent_phases_us),
+            ("rdx", result.rdx_phases_us),
+        )
+        for phase, us in phases.items()
+    ]
+    json_rows.append(
+        {"metric": "agent.total_us", "value": result.agent_total_us,
+         "unit": "us", "sim_time": bed.sim.now}
+    )
+    json_rows.append(
+        {"metric": "rdx.total_us", "value": result.rdx_total_us,
+         "unit": "us", "sim_time": bed.sim.now}
+    )
+    json_rows.append(
+        {"metric": "rdx.deploy_latency_p50_us",
+         "value": deploy.percentile(50), "unit": "us", "sim_time": bed.sim.now}
+    )
+    print(f"results: {write_bench_json('fig4b', json_rows)}")
     benchmark.extra_info["rdx_deploy_latency_p50_us"] = deploy.percentile(50)
     benchmark.extra_info["rdx_deploy_latency_p99_us"] = deploy.percentile(99)
     benchmark.extra_info["rdx_cache_hits"] = registry.counter("rdx.cache.hit").value

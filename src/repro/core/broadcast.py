@@ -118,6 +118,83 @@ class CodeFlowGroup:
         yield from codeflow.sync.write(addr, pack_qword(value))
         yield from codeflow.sync.cc_event(addr, 8)
 
+    def _lower_bubble(self, codeflow: CodeFlow, flushes: list) -> Generator:
+        """Drop one bubble, pipelining the flush on the fast path.
+
+        Raising a bubble must flush *synchronously* -- a data path
+        reading a stale 0 mid-update is the consistency violation BBU
+        exists to prevent.  Lowering is the benign direction: a stale
+        "still raised" just buffers a few extra requests for ~2us.  So
+        the pipelined path chains the lowering write and the cc_event
+        doorbell into ONE WR chain (one doorbell, one completion) and
+        lets the flush *effect* land asynchronously while the next
+        target's lower goes out.  The serial path keeps the blocking
+        write + flush pair.
+        """
+        if not params.RDX_PIPELINED_DEPLOY:
+            yield from self._set_bubble(codeflow, 0)
+            return
+        addr = codeflow.sandbox.bubble_addr
+        doorbell = codeflow.sandbox.control_addr + 24  # OFF_DOORBELL
+        yield from codeflow.sync.write_batch(
+            [(addr, pack_qword(0)), (doorbell, pack_qword(1))]
+        )
+        flushes.append(
+            self.sim.spawn(
+                self._flush_bubble(codeflow, addr),
+                name=f"bubble-flush:{codeflow.sandbox.name}",
+            )
+        )
+
+    def _lower_leg(self, codeflow: CodeFlow, flushes: list, obs) -> Generator:
+        """One lowering, failure-isolated: a target whose lower fails
+        (unreachable, flaky) is counted, never fatal -- and when the
+        lowers run concurrently, never strands a sibling."""
+        try:
+            yield from self._lower_bubble(codeflow, flushes)
+        except ReproError:
+            obs.counter(
+                "rdx.broadcast.bubble_lower_failed",
+                target=codeflow.sandbox.name,
+            ).inc()
+
+    def _flush_bubble(self, codeflow: CodeFlow, addr: int) -> Generator:
+        """The deferred effect of the chained flush doorbell.
+
+        The doorbell WR already landed with the lowering write; the
+        event hook executes the flush ~RDX_CC_EVENT_US later.  The
+        fault hook is still consulted so DROPPED_FLUSH faults bite
+        this path exactly like the blocking one.
+        """
+        _, dropped, _ = codeflow.sync._consult_hook("cc_event", addr, None)
+        yield self.sim.timeout(params.RDX_CC_EVENT_US)
+        if not dropped:
+            codeflow.sandbox.host.cache.flush(addr, 8)
+            codeflow.sync.cc_count += 1
+
+    def _prepare_leg(
+        self, codeflow: CodeFlow, program, span, errors: list
+    ) -> Generator:
+        """One concurrent Phase-0 prepare; collects instead of raising
+        so sibling legs are never stranded as failed background
+        processes (the first collected error aborts the broadcast)."""
+        try:
+            entry = yield from self.control_plane.prepare_for(
+                codeflow, program, parent_span=span
+            )
+        except ReproError as err:
+            errors.append(err)
+            return
+        try:
+            # Pre-link while no bubble is up: warms the linked-image
+            # cache so the in-window deploy leg skips relocation
+            # rewriting *and* the stub rendezvous.  Best-effort -- a
+            # link error here re-surfaces inside the leg, where the
+            # per-target failure machinery owns it.
+            yield from codeflow.link_code(entry.binary, parent_span=span)
+        except ReproError:
+            pass
+
     # -- rdx_broadcast -----------------------------------------------------------
 
     def broadcast(
@@ -200,8 +277,9 @@ class CodeFlowGroup:
             )
         try:
             result = yield from self._broadcast_body(
-                programs, hook_name, order, use_bbu, verify, allow_partial,
-                deadline_us, health, result, txn,
+                programs, hook_name, order, dependency_order is not None,
+                use_bbu, verify, allow_partial, deadline_us, health, result,
+                txn,
             )
         except BaseException as err:
             # A crashed incarnation records nothing: the dangling INTEND
@@ -223,8 +301,8 @@ class CodeFlowGroup:
         return result
 
     def _broadcast_body(
-        self, programs, hook_name, order, use_bbu, verify, allow_partial,
-        deadline_us, health, result, txn,
+        self, programs, hook_name, order, ordered, use_bbu, verify,
+        allow_partial, deadline_us, health, result, txn,
     ) -> Generator:
         plane = self.control_plane
         obs = self.control_plane.obs
@@ -237,11 +315,28 @@ class CodeFlowGroup:
             # Phase 0: make sure every program is validated + compiled
             # *before* any bubble rises -- the registry's "validate once,
             # deploy anywhere" keeps compilation off the consistency
-            # window entirely.
-            for program, codeflow in zip(programs, self.codeflows):
-                yield from self.control_plane.prepare_for(
-                    codeflow, program, parent_span=span
-                )
+            # window entirely.  On the pipelined path the legs run
+            # concurrently on the control plane's multi-core CPU pool;
+            # single-flight dedup in ``prepare`` collapses simultaneous
+            # misses on one key to a single validate+JIT.
+            if params.RDX_PIPELINED_DEPLOY:
+                prep_errors: list[BaseException] = []
+                preps = [
+                    self.sim.spawn(
+                        self._prepare_leg(codeflow, program, span, prep_errors),
+                        name=f"prepare:{codeflow.sandbox.name}",
+                    )
+                    for program, codeflow in zip(programs, self.codeflows)
+                ]
+                if preps:
+                    yield self.sim.all_of(preps)
+                if prep_errors:
+                    raise prep_errors[0]
+            else:
+                for program, codeflow in zip(programs, self.codeflows):
+                    yield from self.control_plane.prepare_for(
+                        codeflow, program, parent_span=span
+                    )
             if txn is not None:
                 plane.journal.phase(txn, "prepared")
 
@@ -291,7 +386,7 @@ class CodeFlowGroup:
                     self.sim.spawn(
                         self._target_leg(
                             cf, prog, outcome, hook_name, span, verify,
-                            deadline_us, obs,
+                            deadline_us, obs, fenced=use_bbu,
                         ),
                         name=f"deploy:{outcome.target}",
                     )
@@ -329,20 +424,44 @@ class CodeFlowGroup:
                 # dead processes do not lower bubbles; the raised flags
                 # it strands are the reconciler's to repair.
                 if use_bbu and not plane.crashed:
-                    for index in order:
-                        codeflow = self.codeflows[index]
-                        if result.outcomes[index].error_kind == "StaleEpochError":
-                            # A fenced leg never raised its bubble, and a
-                            # stale writer has no business lowering the
-                            # successor's.
-                            continue
-                        try:
-                            yield from self._set_bubble(codeflow, 0)
-                        except ReproError:
-                            obs.counter(
-                                "rdx.broadcast.bubble_lower_failed",
-                                target=codeflow.sandbox.name,
-                            ).inc()
+                    flushes = []
+                    lowerable = [
+                        index
+                        for index in order
+                        # A fenced leg never raised its bubble, and a
+                        # stale writer has no business lowering the
+                        # successor's.
+                        if result.outcomes[index].error_kind
+                        != "StaleEpochError"
+                    ]
+                    if params.RDX_PIPELINED_DEPLOY and not ordered:
+                        # The caller declared no dependencies, so no
+                        # ordering constrains the lowers: drop every
+                        # bubble concurrently.  An explicit
+                        # dependency_order always lowers sequentially
+                        # (a caller's bubble only drops once its
+                        # callees confirm new logic).
+                        lowers = [
+                            self.sim.spawn(
+                                self._lower_leg(
+                                    self.codeflows[index], flushes, obs
+                                ),
+                                name=f"lower:{result.outcomes[index].target}",
+                            )
+                            for index in lowerable
+                        ]
+                        if lowers:
+                            yield self.sim.all_of(lowers)
+                    else:
+                        for index in lowerable:
+                            yield from self._lower_leg(
+                                self.codeflows[index], flushes, obs
+                            )
+                    if flushes:
+                        # The trailing flushes overlap the lowering
+                        # writes; only the last target's ~2us flush can
+                        # extend the window past its lowering write.
+                        yield self.sim.all_of(flushes)
         result.bubble_lowered_us = self.sim.now
         result.bubble_window_us = result.bubble_lowered_us - result.bubble_raised_us
         # BBU buffering cost proxy: how long every target held requests.
@@ -379,12 +498,14 @@ class CodeFlowGroup:
 
     def _target_leg(
         self, codeflow, program, outcome, hook_name, span, verify,
-        deadline_us, obs,
+        deadline_us, obs, fenced=False,
     ) -> Generator:
         """One target's deploy under a deadline; never raises."""
         try:
             inner = self.sim.spawn(
-                self._deploy_target(codeflow, program, hook_name, span, verify),
+                self._deploy_target(
+                    codeflow, program, hook_name, span, verify, fenced
+                ),
                 name=f"inject:{outcome.target}",
             )
             timer = self.sim.timeout(deadline_us)
@@ -403,7 +524,7 @@ class CodeFlowGroup:
             ).inc()
 
     def _deploy_target(
-        self, codeflow, program, hook_name, span, verify
+        self, codeflow, program, hook_name, span, verify, fenced=False
     ) -> Generator:
         obs = self.control_plane.obs
         with obs.span(
@@ -413,6 +534,7 @@ class CodeFlowGroup:
             report = yield from self.control_plane.inject(
                 codeflow, program, hook_name, parent_span=child,
                 record_intent=False,  # the broadcast txn owns the WAL entry
+                fenced=fenced,  # _guarded_bubble fenced this leg already
             )
             if verify:
                 try:

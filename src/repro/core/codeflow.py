@@ -10,12 +10,13 @@ property the experiments measure.
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass, field
 from typing import Generator, Optional, TYPE_CHECKING
 
 from repro import params
 from repro.errors import DeployError, StaleEpochError, XStateError
-from repro.ebpf.jit import JitBinary
+from repro.ebpf.jit import JitBinary, RelocKind
 from repro.ebpf.maps import BpfMap
 from repro.ebpf.program import BpfProgram
 from repro.mem.memory import RegionAllocator
@@ -112,6 +113,10 @@ class CodeFlow:
         self._hook_owner: dict[str, str] = {}
         self.reports: list[DeployReport] = []
         self._lock_token = 0xC0DE_0000 + sandbox.sandbox_id
+        #: True when the last :meth:`link_code` was served from the
+        #: control plane's linked-image cache -- the fast deploy path
+        #: then skips the stub rendezvous (the layout is already known).
+        self._last_link_cached = False
         #: The deployment epoch this handle writes under (fencing token);
         #: set by :meth:`stamp_epoch` during rdx_create_codeflow.
         self.epoch = 0
@@ -189,12 +194,72 @@ class CodeFlow:
     def link_code(
         self, binary: JitBinary, parent_span: Optional[Span] = None
     ) -> Generator:
-        """Link ``binary`` against this target; returns the linked image."""
+        """Link ``binary`` against this target; returns the linked image.
+
+        On the pipelined path the control plane's linked-image cache,
+        keyed by (code CRC, arch, GOT-layout fingerprint), skips the
+        per-relocation rewriting when this target resolves every symbol
+        to the same addresses a previous link did.  The fingerprint
+        covers the *resolved addresses*, not just the symbol names --
+        layout churn (e.g. address reuse after a warm reboot) must miss
+        rather than serve a stale image.
+        """
+        self._last_link_cached = False
+        plane = self.control_plane
         with self.obs.span("rdx.link", parent=parent_span, target=self.sandbox.name):
+            key = (
+                self._link_cache_key(binary)
+                if params.RDX_PIPELINED_DEPLOY
+                else None
+            )
+            if key is not None:
+                cached = plane.linked_images.get(key)
+                if cached is not None:
+                    # LRU touch: dict ordering is the recency list.
+                    plane.linked_images[key] = plane.linked_images.pop(key)
+                    plane.link_cache_hits += 1
+                    self.obs.counter("rdx.link.cache_hit").inc()
+                    yield from plane.host.cpu.run(
+                        params.RDX_LINK_CACHE_LOOKUP_US
+                    )
+                    self._last_link_cached = True
+                    return cached
+                plane.link_cache_misses += 1
+                self.obs.counter("rdx.link.cache_miss").inc()
             linked, cost_us = self.linker.link(binary)
-            yield from self.control_plane.host.cpu.run(cost_us)
+            yield from plane.host.cpu.run(cost_us)
+            if key is not None:
+                plane.linked_images[key] = linked
+                while len(plane.linked_images) > params.RDX_LINK_CACHE_CAP:
+                    del plane.linked_images[next(iter(plane.linked_images))]
         self.obs.histogram("rdx.link.cpu_us").observe(cost_us)
         return linked
+
+    def _link_cache_key(self, binary: JitBinary) -> Optional[tuple]:
+        """(code CRC, arch, GOT-layout fingerprint) for the image cache.
+
+        Returns ``None`` when a symbol does not resolve -- the real
+        linker then raises its precise error -- or for an image with no
+        relocations worth caching.  The fingerprint hashes
+        ``kind:symbol=address`` for every relocation, so two targets
+        share a cache entry iff a fresh link would produce identical
+        bytes on both.
+        """
+        parts = []
+        for reloc in binary.relocations:
+            if reloc.kind is RelocKind.HELPER:
+                address = self.linker.helper_addresses.get(reloc.symbol)
+            else:
+                address = self._map_address_of(reloc.symbol)
+            if address is None:
+                return None
+            parts.append(f"{reloc.kind.value}:{reloc.symbol}={address:x}")
+        fingerprint = zlib.crc32(";".join(parts).encode()) & 0xFFFFFFFF
+        # The image's trailing 4 bytes are its own CRC32; hashing the
+        # full image would therefore yield the CRC *residue* -- the
+        # same constant for every image -- so hash the payload only.
+        content = zlib.crc32(binary.code[:-4]) & 0xFFFFFFFF
+        return (content, binary.arch, fingerprint)
 
     # -- rdx_deploy_prog ------------------------------------------------------
 
@@ -206,14 +271,23 @@ class CodeFlow:
         flush_hook: bool = True,
         retain_history: bool = True,
         parent_span: Optional[Span] = None,
+        fenced: bool = False,
     ) -> Generator:
         """One-sided injection of a linked image + metadata + hook flip.
 
         Returns a :class:`DeployReport`.  The hook flip is a
-        transactional qword swap (:meth:`RemoteSync.tx`), optionally
-        followed by a cache-coherence event on the hook line.  With
-        ``retain_history`` the previous image stays resident as a
-        rollback target; without it, its code pages are freed.
+        transactional qword swap, optionally followed by a
+        cache-coherence event on the hook line.  With ``retain_history``
+        the previous image stays resident as a rollback target; without
+        it, its code pages are freed.
+
+        With :data:`repro.params.RDX_PIPELINED_DEPLOY` set (default)
+        the body runs on the batched fast path (one WR chain for image
+        + metadata, direct CAS commit); the serial path remains as the
+        ablation baseline.  ``fenced`` certifies the caller already ran
+        :meth:`check_fence` for this operation (a broadcast leg fences
+        when its bubble rises); the fast path then skips the duplicate
+        epoch read -- one fence per transaction, not one per op.
         """
         if not linked.is_linked:
             raise DeployError(f"{program.name}: image has unresolved relocations")
@@ -226,9 +300,15 @@ class CodeFlow:
             "rdx.deploy", parent=parent_span,
             program=program.name, target=self.sandbox.name, hook=hook_name,
         )
+        body = (
+            self._deploy_body_fast
+            if params.RDX_PIPELINED_DEPLOY
+            else self._deploy_body
+        )
         try:
-            report = yield from self._deploy_body(
-                program, linked, hook_name, flush_hook, retain_history, report
+            report = yield from body(
+                program, linked, hook_name, flush_hook, retain_history,
+                report, fenced,
             )
         except BaseException as err:
             span.status = "error"
@@ -246,9 +326,12 @@ class CodeFlow:
         flush_hook: bool,
         retain_history: bool,
         report: DeployReport,
+        fenced: bool = False,
     ) -> Generator:
         # Fence first: no byte may land on a target owned by a newer
-        # control-plane epoch.
+        # control-plane epoch.  The serial baseline always re-fences
+        # (``fenced`` is a fast-path optimization).
+        del fenced
         yield from self.check_fence()
 
         # Dispatch: registry lookup, WQE prep, completion polling --
@@ -298,7 +381,7 @@ class CodeFlow:
             expect=expected,
         )
         if prior != expected:
-            self.code_allocator.free(code_addr)
+            self._unwind_failed_deploy(code_addr, slot)
             raise DeployError(
                 f"{program.name}: hook {hook_name!r} CAS expected "
                 f"{expected:#x}, found {prior:#x} (concurrent update?)"
@@ -310,13 +393,143 @@ class CodeFlow:
             yield from self.sync.cc_event(hook_addr, 8)
             report.cc_us = self.sim.now - mark
 
+        self._bookkeep(
+            program, hook_name, code_addr, len(linked.code), slot,
+            block.version, existing, retain_history, report,
+        )
+        return report
+
+    def _deploy_body_fast(
+        self,
+        program: BpfProgram,
+        linked: JitBinary,
+        hook_name: str,
+        flush_hook: bool,
+        retain_history: bool,
+        report: DeployReport,
+        fenced: bool = False,
+    ) -> Generator:
+        """Pipelined deploy: image + metadata out as one WR chain.
+
+        Differences from the serial body, and why each is sound:
+
+        * Dispatch prepares the whole WQE list once and polls a single
+          signaled completion (:data:`repro.params.RDX_DISPATCH_FAST_US`
+          instead of :data:`repro.params.RDX_DISPATCH_US`).
+        * The stub rendezvous is skipped when the linked image came out
+          of the layout-fingerprinted cache -- a hit certifies the
+          Meta descriptor + GOT window already match this layout.
+        * Code image and metadata descriptor ride one chain (one
+          doorbell, selective signaling); torn-write semantics per WR
+          are unchanged because the RNIC still lands MTU chunks.
+        * The commit is a direct CAS with no separate ordering fence:
+          the chain's signaled completion *is* the ordering point (RC
+          ordering retires every chained WR before the CAS issues on
+          the same QP), so the serial path's
+          :data:`repro.params.RDX_TX_COMMIT_US` wait disappears.  The
+          completion still guarantees nothing about remote *CPU*
+          visibility -- that remains ``rdx_cc_event``'s job below.
+        * With ``fenced`` the epoch read is elided: the caller fenced
+          this same transaction moments ago (broadcast fences when the
+          bubble rises), and fencing is advisory at op start either
+          way -- the window between fence and CAS exists at any grain.
+        """
+        if not fenced:
+            yield from self.check_fence()
+
+        mark = self.sim.now
+        yield from self.control_plane.host.cpu.run(params.RDX_DISPATCH_FAST_US)
+        if not self._last_link_cached:
+            yield self.sim.timeout(params.RDX_STUB_RENDEZVOUS_US)
+        report.dispatch_us = self.sim.now - mark
+
+        owner_name = self._hook_owner.get(hook_name)
+        existing = self.deployed.get(owner_name) if owner_name else None
+        hook_addr = self._hook_addr(hook_name)
+        expected = existing.code_addr if existing else 0
+        code_addr = self.code_allocator.alloc(len(linked.code), align=64)
+        slot = self._pick_metadata_slot()
+        block = MetadataBlock(
+            state=SLOT_LIVE,
+            prog_id=program.prog_id,
+            insn_cnt=len(program.insns),
+            ref_count=1,
+            code_addr=code_addr,
+            code_len=len(linked.code),
+            hook_slot=self.manifest.hook_layout.get(hook_name, -1),
+            version=(existing.version + 1) if existing else 1,
+            tag=program.tag().encode()[:16],
+            name=program.name,
+        )
+
+        mark = self.sim.now
+        try:
+            yield from self.sync.write_batch(
+                [
+                    (code_addr, linked.code),
+                    (self.manifest.metadata_addr + slot * 256, block.encode()),
+                ]
+            )
+        except BaseException:
+            self._unwind_failed_deploy(code_addr, slot)
+            raise
+        report.write_us = self.sim.now - mark
+
+        mark = self.sim.now
+        prior = yield from self.sync.cas(hook_addr, expected, code_addr)
+        if prior != expected:
+            self._unwind_failed_deploy(code_addr, slot)
+            raise DeployError(
+                f"{program.name}: hook {hook_name!r} CAS expected "
+                f"{expected:#x}, found {prior:#x} (concurrent update?)"
+            )
+        # Semantic parity with the serial path: this was a
+        # transactional install, just with the fence folded into the
+        # chain completion.
+        self.sync.tx_count += 1
+        report.commit_us = self.sim.now - mark
+
+        if flush_hook:
+            mark = self.sim.now
+            yield from self.sync.cc_event(hook_addr, 8)
+            report.cc_us = self.sim.now - mark
+
+        self._bookkeep(
+            program, hook_name, code_addr, len(linked.code), slot,
+            block.version, existing, retain_history, report,
+        )
+        return report
+
+    def _unwind_failed_deploy(self, code_addr: int, slot: int) -> None:
+        """Release local resources a failed deploy body had claimed.
+
+        Both the code pages *and* the metadata slot go back -- leaking
+        the slot on a CAS conflict used to exhaust the descriptor
+        array under repeated contention.
+        """
+        self.code_allocator.free(code_addr)
+        self._metadata_used.discard(slot)
+
+    def _bookkeep(
+        self,
+        program: BpfProgram,
+        hook_name: str,
+        code_addr: int,
+        code_len: int,
+        slot: int,
+        version: int,
+        existing: Optional[DeployedProgram],
+        retain_history: bool,
+        report: DeployReport,
+    ) -> None:
+        """Shared post-commit record keeping for both deploy bodies."""
         record = DeployedProgram(
             program=program,
             hook_name=hook_name,
             code_addr=code_addr,
-            code_len=len(linked.code),
+            code_len=code_len,
             metadata_slot=slot,
-            version=block.version,
+            version=version,
         )
         if existing:
             # The superseded descriptor slot is reusable either way.
@@ -339,7 +552,6 @@ class CodeFlow:
             target=self.sandbox.name,
             total_us=report.total_us,
         )
-        return report
 
     def _observe_deploy(self, report: DeployReport, code_bytes: int) -> None:
         """Feed one successful deploy into the metrics registry."""

@@ -91,11 +91,22 @@ class RdxControlPlane:
         self._cq = self._verbs.create_cq()
         #: (tag, arch) -> RegistryEntry; the §3.2 compile cache.
         self.registry: dict[tuple[str, str], RegistryEntry] = {}
+        #: (tag, arch) -> in-flight compile event.  Single-flight dedup:
+        #: the first miss becomes the leader and everyone else waits on
+        #: its event instead of duplicating validate+JIT.
+        self._inflight: dict[tuple[str, str], object] = {}
+        #: (code CRC, arch, GOT-layout fingerprint) -> linked JitBinary.
+        #: Targets with identical layouts skip per-relocation rewriting
+        #: entirely (see :meth:`CodeFlow.link_code`).
+        self.linked_images: dict[tuple, JitBinary] = {}
         self.codeflows: list[CodeFlow] = []
         self.validations_run = 0
         self.compiles_run = 0
         self.cache_hits = 0
         self.cache_evictions = 0
+        self.prepare_coalesced = 0
+        self.link_cache_hits = 0
+        self.link_cache_misses = 0
 
     # -- incarnation lifecycle -------------------------------------------------
 
@@ -263,7 +274,18 @@ class RdxControlPlane:
         principal: Optional[Principal] = None,
         parent_span: Optional[Span] = None,
     ) -> Generator:
-        """Validate + compile with caching; returns a RegistryEntry."""
+        """Validate + compile with caching; returns a RegistryEntry.
+
+        Concurrent misses on one key coalesce: the first caller runs
+        validate+JIT (the *leader*); everyone else parks on the
+        in-flight event and receives the same entry -- N parallel
+        injects of one program cost exactly one compile.  The registry
+        used to be written only after the compile generator finished,
+        so two concurrent misses both paid the full pipeline.  A
+        leader failure propagates to every waiter (same error a solo
+        caller would see) and clears the in-flight slot so a later
+        retry can compile fresh.
+        """
         key = (program.tag(), arch)
         entry = self.registry.get(key)
         if entry is not None:
@@ -272,14 +294,27 @@ class RdxControlPlane:
             # LRU touch: dict ordering doubles as the recency list.
             self.registry[key] = self.registry.pop(key)
             return entry
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self.prepare_coalesced += 1
+            self.obs.counter("rdx.prepare.coalesced").inc()
+            entry = yield pending
+            return entry
         self.obs.counter("rdx.cache.miss").inc()
-        stats = yield from self.validate_code(
-            program, maps, ctx_size=ctx_size, principal=principal,
-            parent_span=parent_span,
-        )
-        binary = yield from self.jit_compile_code(
-            program, arch=arch, principal=principal, parent_span=parent_span
-        )
+        done = self.sim.event()
+        self._inflight[key] = done
+        try:
+            stats = yield from self.validate_code(
+                program, maps, ctx_size=ctx_size, principal=principal,
+                parent_span=parent_span,
+            )
+            binary = yield from self.jit_compile_code(
+                program, arch=arch, principal=principal, parent_span=parent_span
+            )
+        except BaseException as err:
+            self._inflight.pop(key, None)
+            done.fail(err)
+            raise
         entry = RegistryEntry(program=program, arch=arch, stats=stats, binary=binary)
         self.registry[key] = entry
         while len(self.registry) > params.RDX_REGISTRY_CAP:
@@ -287,6 +322,8 @@ class RdxControlPlane:
             del self.registry[victim]
             self.cache_evictions += 1
             self.obs.counter("rdx.cache.evict").inc()
+        self._inflight.pop(key, None)
+        done.succeed(entry)
         return entry
 
     def prepare_for(
@@ -325,6 +362,7 @@ class RdxControlPlane:
         retain_history: bool = True,
         parent_span: Optional[Span] = None,
         record_intent: bool = True,
+        fenced: bool = False,
     ) -> Generator:
         """prepare -> link -> deploy; returns the DeployReport.
 
@@ -332,7 +370,9 @@ class RdxControlPlane:
         transaction level instead), the deploy is WAL-journaled:
         INTEND before any target byte moves, COMMIT only after the
         hook flip lands.  A crash between the two leaves an in-flight
-        record the reconciler cleans up.
+        record the reconciler cleans up.  ``fenced`` is passed through
+        to :meth:`CodeFlow.deploy_prog` -- a broadcast leg that fenced
+        while raising its bubble skips the duplicate epoch read.
         """
         self._check_alive()
         self.policy.check(principal, "deploy", codeflow.sandbox.name)
@@ -364,7 +404,7 @@ class RdxControlPlane:
                 link_us = self.sim.now - mark
                 report = yield from codeflow.deploy_prog(
                     program, linked, hook_name, retain_history=retain_history,
-                    parent_span=span,
+                    parent_span=span, fenced=fenced,
                 )
         except BaseException as err:
             if txn is not None and not self.crashed:

@@ -343,10 +343,20 @@ class Reconciler:
         # Clear any hook still pointing at the orphan's image first, so
         # the data path never runs code with a dead descriptor.
         manifest = codeflow.manifest
+        # A redeploy earlier in this pass may have reused the orphan's
+        # freed code pages: the hook then points at the *live* image
+        # that overwrote the orphan, not at the orphan itself -- only
+        # the stale descriptor needs clearing.
+        reused = any(
+            record.code_addr == block.code_addr
+            for record in codeflow.deployed.values()
+        )
         for hook in sorted(manifest.hook_layout):
             hook_addr = codeflow._hook_addr(hook)
             raw = yield from codeflow.sync.read(hook_addr, 8)
             if unpack_qword(raw) == block.code_addr and block.code_addr:
+                if reused:
+                    continue
                 yield from self._flip_hook(codeflow, hook, block.code_addr, 0)
                 self._act(report, "unhook", hook, f"orphan {block.name}")
         state_addr = manifest.metadata_addr + slot * 256

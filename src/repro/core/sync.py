@@ -68,6 +68,10 @@ class RemoteSync:
         self.tx_count = 0
         self.cc_count = 0
         self.lock_acquires = 0
+        obs = telemetry_of(sim)
+        #: Pipelined-path instrumentation (resolved once; hot path).
+        self._m_chain_wrs = obs.histogram("rdx.deploy.wrs_per_doorbell")
+        self._m_inflight = obs.histogram("rdx.deploy.inflight_depth")
 
     # -- raw one-sided ops --------------------------------------------------
 
@@ -136,6 +140,79 @@ class RemoteSync:
             "WRITE",
             inject=inject,
         )
+        return completion
+
+    def _attempt_batch(self, wrs_factory, what: str) -> Generator:
+        completion = yield self.qp.post_send_batch(wrs_factory())
+        self._check(completion, what)
+        return completion
+
+    def _op_batch(self, wrs_factory, what: str, inject=None) -> Generator:
+        """One chained batch under the retry policy.
+
+        A failed batch retries *as a whole*: torn prefixes from the
+        failed attempt are overwritten when the retry re-lands every
+        WR (writes are idempotent), so partial progress never leaks
+        into the success path.
+        """
+        state = {"pending": inject}
+
+        def attempt():
+            if state["pending"] is not None:
+                error, state["pending"] = state["pending"], None
+                return self._faulted_attempt(error)
+            return self._attempt_batch(wrs_factory, what)
+
+        completion = yield from self.retry.run(
+            self.sim, attempt, op=what.lower(), rng=self._rng
+        )
+        return completion
+
+    def write_batch(self, ops: "list[tuple[int, bytes]]") -> Generator:
+        """Pipelined multi-write: chained WRs, selective signaling.
+
+        ``ops`` is ``[(addr, payload), ...]``.  Up to
+        :data:`repro.params.RDX_SQ_DEPTH` WRs go out per chain (one
+        doorbell, one signaled completion); larger batches issue
+        multiple chains back to back.  The fault hook is consulted per
+        op, exactly as :meth:`write` does -- an armed fault can mangle
+        or drop any WR in the batch, and an injected transport error
+        fails the whole chain's first attempt (the batch then retries
+        as a whole under the RetryPolicy).  Returns the last chain's
+        completion.
+        """
+        staged = []
+        inject = None
+        for addr, data in ops:
+            payload, dropped, error = self._consult_hook("write", addr, data)
+            if error is not None and inject is None:
+                inject = error
+            if dropped:
+                continue
+            staged.append((addr, payload))
+        if not staged:
+            yield self.sim.timeout(params.RDX_CC_EVENT_US)
+            return None
+        completion = None
+        depth = max(1, params.RDX_SQ_DEPTH)
+        for start in range(0, len(staged), depth):
+            window = staged[start : start + depth]
+            self._m_chain_wrs.observe(len(window))
+            self._m_inflight.observe(len(window))
+
+            def wrs_factory(window=window):
+                return [
+                    WorkRequest(
+                        opcode=WrOpcode.RDMA_WRITE, remote_addr=addr,
+                        rkey=self.rkey, data=payload,
+                    )
+                    for addr, payload in window
+                ]
+
+            completion = yield from self._op_batch(
+                wrs_factory, "WRITE_BATCH", inject=inject
+            )
+            inject = None
         return completion
 
     def read(self, addr: int, length: int) -> Generator:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -128,6 +130,39 @@ def _fmt(cell: object) -> str:
             return f"{cell:.1f}"
         return f"{cell:.2f}"
     return str(cell)
+
+
+def write_bench_json(
+    bench: str,
+    rows: Sequence[dict],
+    directory: Optional[str] = None,
+) -> str:
+    """Dump machine-readable bench results to ``BENCH_<name>.json``.
+
+    Each row is ``{bench, metric, value, unit, sim_time}``; missing
+    ``bench`` keys are filled in.  The directory defaults to
+    ``$RDX_BENCH_DIR`` (CI sets it per ablation arm) or the current
+    working directory.  Returns the path written, so benches can print
+    it next to their tables.
+    """
+    directory = directory or os.environ.get("RDX_BENCH_DIR") or "."
+    os.makedirs(directory, exist_ok=True)
+    normalized = []
+    for row in rows:
+        entry = {
+            "bench": bench,
+            "metric": "",
+            "value": None,
+            "unit": "",
+            "sim_time": None,
+        }
+        entry.update(row)
+        normalized.append(entry)
+    path = os.path.join(directory, f"BENCH_{bench}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(normalized, handle, indent=2)
+        handle.write("\n")
+    return path
 
 
 def median(values: Sequence[float]) -> float:

@@ -20,6 +20,8 @@ The testbed modeled is the paper's: 24-core 3.4 GHz Xeon E5-2643,
 
 from __future__ import annotations
 
+import os
+
 # --------------------------------------------------------------------
 # Host hardware (paper §6 testbed)
 # --------------------------------------------------------------------
@@ -81,6 +83,42 @@ HEALTH_DEAD_MISSES = 3
 #: LRU beyond this: long-lived reconciler loops touch many one-off
 #: programs and must not grow the registry without bound.
 RDX_REGISTRY_CAP = 128
+
+# --------------------------------------------------------------------
+# Pipelined deploy fast path (WR chaining + doorbell batching)
+# --------------------------------------------------------------------
+
+#: Send-queue depth the pipelined Sync API keeps in flight: one WR
+#: chain posted per doorbell carries at most this many WRs.  Matches a
+#: conservative RC SQ depth; real verbs code posts far deeper chains,
+#: but a deploy never needs more than a handful of WRs per target.
+RDX_SQ_DEPTH = int(os.environ.get("RDX_SQ_DEPTH", "16"))
+
+#: Master switch for the pipelined deploy fast path.  A mutable module
+#: global (not a frozen constant) so the ablation bench can flip both
+#: modes inside one process; the environment sets only the default.
+#: ``RDX_PIPELINED_DEPLOY=0`` falls back to the serial
+#: one-WR-per-doorbell path everywhere.
+RDX_PIPELINED_DEPLOY = os.environ.get("RDX_PIPELINED_DEPLOY", "1") not in (
+    "0", "false", "no",
+)
+
+#: Control-plane dispatch overhead on the *pipelined* path, us.  The
+#: serial path pays :data:`RDX_DISPATCH_US` preparing and polling one
+#: WQE per op; chaining prepares the whole WR list once and polls a
+#: single signaled completion, so dispatch collapses to roughly the
+#: cost of one registry lookup + one WQE-list build.
+RDX_DISPATCH_FAST_US = 3.0
+
+#: Linked-image cache lookup/insert bookkeeping on the control plane,
+#: us.  One dict probe over a precomputed fingerprint.
+RDX_LINK_CACHE_LOOKUP_US = 0.2
+
+#: Max entries the control plane's linked-image cache retains (LRU).
+#: Keyed by (code CRC, arch, GOT-layout fingerprint); one entry per
+#: distinct target layout, so this bounds memory on heterogeneous
+#: fleets.
+RDX_LINK_CACHE_CAP = 256
 
 #: TCP/gRPC request latency floor for control RPCs (agent path), us.
 #: Kernel network stack both sides + protobuf handling.

@@ -33,6 +33,10 @@ class Completion:
     #: For READ/CAS/FETCH_ADD: the returned data / original value.
     result: Any = None
     error: str = ""
+    #: Number of WRs this completion retires.  Selective signaling posts
+    #: a chain of WRs with only the last one signaled, so one CQE can
+    #: stand for a whole batch (``wr_id`` names the signaled WR).
+    chained: int = 1
 
 
 class CompletionQueue:

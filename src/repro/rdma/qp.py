@@ -121,3 +121,22 @@ class QueuePair:
         # WR with WR_FLUSH_ERROR (ibverbs semantics).
         self.posted += 1
         return self.rnic.submit(self, wr)
+
+    def post_send_batch(self, wrs: "list[WorkRequest]"):
+        """Post a chained WR list: one doorbell, one signaled completion.
+
+        Selective signaling -- only the last WR generates a CQE
+        (``Completion.chained`` counts the whole batch).  The RNIC
+        services the chain as one pipelined stream; a failure mid-chain
+        surfaces in the single completion and the remaining WRs never
+        execute (chunks already landed stay landed).  Returns the event
+        that fires with that completion.
+        """
+        if not wrs:
+            raise RdmaError("post_send_batch of empty WR list")
+        if self.state not in (QpState.RTS, QpState.ERROR):
+            raise RdmaError(f"post_send_batch on QP in state {self.state}")
+        if self.remote is None:
+            raise RdmaError("QP has no connected peer")
+        self.posted += len(wrs)
+        return self.rnic.submit_batch(self, wrs)

@@ -59,6 +59,7 @@ class Rnic:
         self._m_bytes = obs.counter("rdma.bytes_dma", rnic=self.name)
         self._m_cq_depth = obs.histogram("rdma.cq.depth")
         self._m_errors = obs.counter("rdma.wr_errors", rnic=self.name)
+        self._m_chain = obs.histogram("rdma.wrs_per_doorbell")
 
     # -- submission ------------------------------------------------------
 
@@ -88,6 +89,54 @@ class Rnic:
         self.wrs_processed += 1
         self._m_verbs[wr.opcode].inc()
         self._m_bytes.inc(self.bytes_dma - bytes_before)
+        if completion.status is not WcStatus.SUCCESS:
+            self._m_errors.inc()
+        qp.cq.push(completion)
+        self._m_cq_depth.observe(len(qp.cq))
+        done.succeed(completion)
+
+    def submit_batch(self, qp: QueuePair, wrs: list[WorkRequest]) -> Event:
+        """Queue a chained WR list; event fires with ONE Completion.
+
+        Selective signaling: the chain retires under a single CQE
+        carrying the last WR's id (``chained`` counts the batch).  Only
+        WRITE chains are supported -- the deploy fast path is all
+        one-sided WRITEs, and mixing opcodes would complicate the
+        failure model for no caller.
+        """
+        for wr in wrs:
+            if wr.opcode is not WrOpcode.RDMA_WRITE:
+                raise RdmaError(
+                    f"WR chains support RDMA_WRITE only, got {wr.opcode}"
+                )
+        done = self.sim.event()
+        self.sim.spawn(
+            self._process_batch(qp, wrs, done), name=f"wqe-chain:{len(wrs)}"
+        )
+        return done
+
+    def _process_batch(self, qp: QueuePair, wrs: list[WorkRequest], done: Event):
+        grant = self._pipeline.request()
+        yield grant
+        bytes_before = self.bytes_dma
+        try:
+            if qp.state is QpState.ERROR:
+                completion = Completion(
+                    wr_id=wrs[-1].wr_id,
+                    opcode=wrs[-1].opcode.value,
+                    status=WcStatus.WR_FLUSH_ERROR,
+                    error="QP in error state",
+                    chained=len(wrs),
+                )
+            else:
+                completion = yield from self._execute_chain(qp, wrs)
+        finally:
+            self._pipeline.release(grant)
+        qp.completed += len(wrs)
+        self.wrs_processed += len(wrs)
+        self._m_verbs[wrs[0].opcode].inc(len(wrs))
+        self._m_bytes.inc(self.bytes_dma - bytes_before)
+        self._m_chain.observe(len(wrs))
         if completion.status is not WcStatus.SUCCESS:
             self._m_errors.inc()
         qp.cq.push(completion)
@@ -142,6 +191,77 @@ class Rnic:
             status=WcStatus.SUCCESS,
             byte_len=wr.wire_bytes(),
             result=result,
+        )
+
+    def _execute_chain(self, qp: QueuePair, wrs: list[WorkRequest]):
+        """Service a WRITE chain as one pipelined stream.
+
+        Cost model: one doorbell + one WQE-list fetch at the initiator,
+        one first-byte latency + remote NIC overhead for the stream,
+        then pure serialization per MTU chunk, then one ACK for the
+        signaled tail.  Torn-write semantics are preserved exactly as
+        in :meth:`_do_write`: chunks land one by one, reachability is
+        re-checked per chunk, and a crash mid-chain strands the prefix
+        in target DRAM while later WRs never execute.
+        """
+        remote_qp = qp.remote
+        assert remote_qp is not None
+        remote_host = remote_qp.rnic.host
+
+        # One doorbell + one WQE-list fetch covers the whole chain --
+        # the doorbell coalescing being measured.
+        yield self.sim.timeout(
+            params.RDMA_DOORBELL_US + params.RNIC_OP_OVERHEAD_US
+        )
+        landed = 0
+        try:
+            self._check_reachable(remote_host)
+            # First byte of the stream reaches the target once.
+            yield self.sim.timeout(
+                params.NET_BASE_LATENCY_US + params.RNIC_OP_OVERHEAD_US
+            )
+            for wr in wrs:
+                # Per-WR protection check happens when the target NIC
+                # starts placing that WR, not up front: earlier WRs in
+                # the chain have already landed by then.
+                self._check_remote(
+                    remote_qp, wr, len(wr.data), AccessFlags.REMOTE_WRITE
+                )
+                offset = 0
+                while offset < len(wr.data):
+                    chunk = wr.data[offset : offset + RNIC_MTU_BYTES]
+                    yield self.sim.timeout(len(chunk) / params.RDMA_BANDWIDTH_BPUS)
+                    self._check_reachable(remote_host)
+                    remote_host.cache.dma_write(wr.remote_addr + offset, chunk)
+                    self.bytes_dma += len(chunk)
+                    offset += len(chunk)
+                landed += 1
+            # Single ACK for the signaled tail WR.
+            yield self.sim.timeout(params.NET_BASE_LATENCY_US)
+        except ProtectionError as err:
+            qp.modify(QpState.ERROR)
+            return Completion(
+                wr_id=wrs[landed].wr_id,
+                opcode=wrs[landed].opcode.value,
+                status=WcStatus.REMOTE_ACCESS_ERROR,
+                error=str(err),
+                chained=len(wrs),
+            )
+        except _Unreachable as err:
+            yield self.sim.timeout(params.RDMA_RETRY_TIMEOUT_US)
+            return Completion(
+                wr_id=wrs[min(landed, len(wrs) - 1)].wr_id,
+                opcode=wrs[0].opcode.value,
+                status=WcStatus.RETRY_EXC_ERROR,
+                error=str(err),
+                chained=len(wrs),
+            )
+        return Completion(
+            wr_id=wrs[-1].wr_id,
+            opcode=wrs[-1].opcode.value,
+            status=WcStatus.SUCCESS,
+            byte_len=sum(wr.wire_bytes() for wr in wrs),
+            chained=len(wrs),
         )
 
     def _check_reachable(self, remote_host: Host) -> None:

@@ -18,11 +18,13 @@ import os
 
 import pytest
 
+from repro import params
 from repro.core.api import rdx_broadcast
 from repro.core.faults import FaultInjector, FaultKind
 from repro.ebpf.stress import make_stress_program
 from repro.errors import BroadcastAborted, ConsistencyError
 from repro.exp.fault_campaign import run_fault_campaign
+from repro.rdma.rnic import RNIC_MTU_BYTES
 
 FAULT_SEED = int(os.environ.get("RDX_FAULT_SEED", "0"))
 
@@ -248,3 +250,66 @@ class TestCampaignSmoke:
         assert result.stranded == 0
         assert result.committed + result.aborts == result.rounds_run
         assert all(r.bubbles_clear for r in result.rounds)
+
+
+class TestTornChainAbort:
+    @pytest.fixture(autouse=True)
+    def _pin_pipelined(self):
+        # The mid-chain tear needs the batched fast path; keep the test
+        # meaningful under an RDX_PIPELINED_DEPLOY=0 ablation run.
+        saved = params.RDX_PIPELINED_DEPLOY
+        params.RDX_PIPELINED_DEPLOY = True
+        yield
+        params.RDX_PIPELINED_DEPLOY = saved
+
+    def test_crash_mid_chain_aborts_then_rebroadcast_succeeds(self, testbed2):
+        """A target dying mid-WR-chain strands exactly the landed MTU
+        prefix; the broadcast aborts all-or-nothing, and a rebroadcast
+        after recovery re-lands every WR over the torn bytes."""
+        bed = testbed2
+        bed.sim.run_process(
+            rdx_broadcast(bed.codeflows, versioned(bed, 1), "ingress")
+        )
+        v1_addrs = code_addrs(bed)
+
+        # Fail-stop target 1 right after the first full MTU chunk of
+        # its v2 image lands (v2 images span multiple chunks).
+        victim = bed.sandboxes[1].host
+        original = victim.cache.dma_write
+        seen = {}
+
+        def crash_after_first_chunk(addr, data):
+            original(addr, data)
+            if len(data) == RNIC_MTU_BYTES and "addr" not in seen:
+                seen["addr"] = addr
+                victim.crash()
+
+        victim.cache.dma_write = crash_after_first_chunk
+        try:
+            err = broadcast_expecting_abort(
+                bed, versioned(bed, 2, size=1_300)
+            )
+        finally:
+            victim.cache.dma_write = original
+
+        assert victim.crashed
+        assert not err.result.outcomes[1].ok
+        # Exactly one MTU chunk of the dead leg's image landed; the
+        # chain's later chunks and WRs never executed.
+        stranded = victim.memory.read(seen["addr"], 2 * RNIC_MTU_BYTES)
+        assert any(stranded[:RNIC_MTU_BYTES])
+        assert stranded[RNIC_MTU_BYTES:] == bytes(RNIC_MTU_BYTES)
+        # The reachable target was rolled back to its v1 image.
+        assert code_addrs(bed) == v1_addrs
+
+        FaultInjector(bed.codeflows[1], seed=FAULT_SEED).recover_target()
+        result = bed.sim.run_process(
+            rdx_broadcast(
+                bed.codeflows, versioned(bed, 3, size=1_300), "ingress"
+            )
+        )
+        assert all(outcome.ok for outcome in result.outcomes)
+        assert not any(sb.bubble_active() for sb in bed.sandboxes)
+        for sandbox in bed.sandboxes:
+            execution, _ = sandbox.run_hook("ingress", bytes(256))
+            assert execution is not None

@@ -37,9 +37,16 @@ class TestBroadcast:
         observed = {"during": None}
 
         def observer():
-            # Sample bubble state mid-broadcast.
-            yield bed.sim.timeout(30)
-            observed["during"] = [sb.bubble_active() for sb in bed.sandboxes]
+            # Poll through the (microsecond-scale) bubble window and
+            # record the first instant every target's bubble is up at
+            # once.  A fixed sample point would race the pipelined
+            # fast path, whose window is a fraction of the serial one.
+            for _ in range(500):
+                yield bed.sim.timeout(1)
+                states = [sb.bubble_active() for sb in bed.sandboxes]
+                if all(states):
+                    observed["during"] = states
+                    return
 
         bed.sim.spawn(observer())
         result = bed.sim.run_process(
@@ -64,14 +71,13 @@ class TestBroadcast:
         bed = testbed2
         lowered = []
 
-        original = CodeFlowGroup._set_bubble
+        original = CodeFlowGroup._lower_bubble
 
-        def spying(self, codeflow, value):
-            if value == 0:
-                lowered.append(codeflow.sandbox.name)
-            return original(self, codeflow, value)
+        def spying(self, codeflow, flushes):
+            lowered.append(codeflow.sandbox.name)
+            return original(self, codeflow, flushes)
 
-        CodeFlowGroup._set_bubble = spying
+        CodeFlowGroup._lower_bubble = spying
         try:
             bed.sim.run_process(
                 rdx_broadcast(
@@ -80,7 +86,7 @@ class TestBroadcast:
                 )
             )
         finally:
-            CodeFlowGroup._set_bubble = original
+            CodeFlowGroup._lower_bubble = original
         assert lowered == [bed.sandboxes[0].name, bed.sandboxes[1].name]
 
     def test_bad_dependency_order(self, testbed2):
@@ -117,13 +123,26 @@ class TestBroadcast:
         bed = testbed2
         for program, codeflow in zip(programs_for(bed), bed.codeflows):
             bed.sim.run_process(bed.control.prepare_for(codeflow, program))
-        result = bed.sim.run_process(
-            rdx_broadcast(bed.codeflows, programs_for(bed), "ingress",
-                          use_bbu=False)
-        )
-        # Without BBU there is no bubble phase: the "window" equals
-        # the raw deploy span and no flag was ever raised.
-        assert result.bubble_raised_us == result.started_us
+        bubble_writes = []
+        original = CodeFlowGroup._set_bubble
+
+        def spying(self, codeflow, value):
+            bubble_writes.append(value)
+            return original(self, codeflow, value)
+
+        CodeFlowGroup._set_bubble = spying
+        try:
+            result = bed.sim.run_process(
+                rdx_broadcast(bed.codeflows, programs_for(bed), "ingress",
+                              use_bbu=False)
+            )
+        finally:
+            CodeFlowGroup._set_bubble = original
+        # Without BBU there is no bubble phase: no flag was ever
+        # raised (or lowered) and the "window" is just the raw deploy
+        # fan-out span.
+        assert bubble_writes == []
+        assert result.bubble_raised_us <= result.deploys_done_us
         assert all(not sb.bubble_active() for sb in bed.sandboxes)
 
 

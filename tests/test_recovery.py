@@ -17,14 +17,21 @@ import pytest
 
 from repro import params
 from repro.core.broadcast import CodeFlowGroup
-from repro.core.faults import FaultInjector
+from repro.core.faults import FaultInjector, FaultKind
 from repro.core.health import HealthDetector, TargetHealth
 from repro.core.introspect import RemoteIntrospector
 from repro.core.journal import IntentJournal
 from repro.core.reconcile import Reconciler, resume_control_plane
 from repro.ebpf.stress import make_stress_program
-from repro.errors import BroadcastAborted, DeployError, StaleEpochError
+from repro.errors import (
+    BroadcastAborted,
+    DeployError,
+    SandboxCrash,
+    StaleEpochError,
+    TransientFault,
+)
 from repro.exp.harness import make_testbed
+from repro.rdma.rnic import RNIC_MTU_BYTES
 
 
 def programs_for(bed, version=1, size=120):
@@ -281,3 +288,112 @@ class TestRegistryCapAndClose:
         assert codeflow not in plane.codeflows
         with pytest.raises(DeployError):
             plane.close_codeflow(codeflow)
+
+
+class TestTornBatchRecovery:
+    """Torn WR chains: prefix detection, CRC readback, and repair."""
+
+    @pytest.fixture(autouse=True)
+    def _pin_pipelined(self):
+        # These scenarios tear a *batched* image mid-chain; keep them
+        # meaningful under an RDX_PIPELINED_DEPLOY=0 ablation run.
+        saved = params.RDX_PIPELINED_DEPLOY
+        params.RDX_PIPELINED_DEPLOY = True
+        yield
+        params.RDX_PIPELINED_DEPLOY = saved
+
+    def test_crash_mid_chain_strands_exact_mtu_prefix(self, testbed):
+        """A target dying mid-chain keeps exactly the landed MTU chunks;
+        the aborted transaction leaves committed intent at v1, and a
+        re-inject after recovery overwrites the torn prefix whole."""
+        bed = testbed
+        codeflow = bed.codeflow
+        v1 = make_stress_program(1_300, seed=7, name="app")
+        bed.sim.run_process(bed.control.inject(codeflow, v1, "ingress"))
+        bed.sim.run()
+        baseline, _ = bed.sandbox.run_hook("ingress", bytes(256))
+
+        # Fail-stop the target the instant the first full MTU chunk of
+        # the v2 image lands: the chain dies with that prefix in DRAM.
+        cache = bed.host.cache
+        original = cache.dma_write
+        seen = {}
+
+        def crash_after_first_chunk(addr, data):
+            original(addr, data)
+            if len(data) == RNIC_MTU_BYTES and "addr" not in seen:
+                seen["addr"] = addr
+                bed.host.crash()
+
+        cache.dma_write = crash_after_first_chunk
+        v2 = make_stress_program(1_300, seed=8, name="app")
+        try:
+            with pytest.raises(TransientFault):
+                bed.sim.run_process(
+                    bed.control.inject(codeflow, v2, "ingress")
+                )
+        finally:
+            cache.dma_write = original
+
+        linked = list(bed.control.linked_images.values())[-1]
+        assert len(linked.code) > RNIC_MTU_BYTES
+        landed = bed.host.memory.read(seen["addr"], len(linked.code))
+        assert landed[:RNIC_MTU_BYTES] == linked.code[:RNIC_MTU_BYTES]
+        assert landed[RNIC_MTU_BYTES:] == bytes(
+            len(linked.code) - RNIC_MTU_BYTES
+        )
+
+        # The deploy aborted cleanly: committed intent still names v1.
+        assert not list(bed.control.journal.in_flight())
+        intent = bed.control.journal.committed_intent()
+        assert intent[bed.sandbox.name].programs["app"] == v1.tag()
+
+        # After recovery the data path still serves v1, and a fresh
+        # inject re-lands every WR of the batch over the torn prefix.
+        bed.host.recover()
+        assert bed.sandbox.run_hook("ingress", bytes(256))[0] == baseline
+        bed.sim.run_process(bed.control.inject(codeflow, v2, "ingress"))
+        assert codeflow.deployed["app"].program is v2
+        assert bed.sim.run_process(RemoteIntrospector(codeflow).audit()).clean
+        execution, _ = bed.sandbox.run_hook("ingress", bytes(256))
+        assert execution is not None
+
+    def test_torn_batched_image_crc_detected_and_redeployed(self, testbed):
+        """A tear inside the batched image write commits a corrupt
+        image; the reconciler's CRC readback refuses to adopt it and
+        redeploys from the artifact catalog instead."""
+        bed = testbed
+        codeflow = bed.codeflow
+        v1 = make_stress_program(1_300, seed=7, name="app")
+        bed.sim.run_process(bed.control.inject(codeflow, v1, "ingress"))
+
+        injector = FaultInjector(codeflow, seed=3)
+        injector.arm(FaultKind.TORN_WRITE)
+        injector.attach()
+        v2 = make_stress_program(1_300, seed=8, name="app")
+        try:
+            bed.sim.run_process(bed.control.inject(codeflow, v2, "ingress"))
+        finally:
+            injector.detach()
+
+        # The tear hit the wire, not the catalog: the hook points at a
+        # corrupt image and the data path detects it.
+        with pytest.raises(SandboxCrash):
+            bed.sandbox.run_hook("ingress", bytes(256))
+        bed.sandbox.crashed = False
+
+        plane, codeflows = bed.sim.run_process(
+            resume_control_plane(
+                bed.cluster.control_host, bed.control.journal, bed.sandboxes
+            )
+        )
+        reports = bed.sim.run_process(
+            Reconciler(plane).reconcile_all(codeflows)
+        )
+        assert reports[0].converged
+        kinds = [action.kind for action in reports[0].actions]
+        assert "redeploy" in kinds  # CRC readback rejected the torn image
+        assert "adopt" not in kinds
+        assert reports[0].audit.clean
+        execution, _ = bed.sandboxes[0].run_hook("ingress", bytes(256))
+        assert execution is not None
