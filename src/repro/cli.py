@@ -320,6 +320,64 @@ def _faults(
     )
 
 
+def _races(seed: int, nodes: int, rounds: int) -> tuple[str, int]:
+    """Happens-before race check: fault campaign + known-bad schedules.
+
+    Returns (report text, exit status).  Nonzero when the fault
+    campaign trips a detector (a real ordering bug in the stack) or
+    when a known-bad schedule fails to trip its detector (a dead
+    detector).
+    """
+    from repro import params
+    from repro.exp.hb_schedules import format_report, run_hb_schedules
+    from repro.hb import checker
+
+    parts = []
+    status = 0
+
+    saved = params.RDX_HB_CHECK
+    params.RDX_HB_CHECK = True
+    checker.reset_active()
+    try:
+        run_fault_campaign(n_hosts=nodes, rounds=rounds, seed=seed)
+        reports = checker.check_active()
+    finally:
+        checker.reset_active()
+        params.RDX_HB_CHECK = saved
+
+    rows = []
+    for index, (_sim, report) in enumerate(reports):
+        rows.append(
+            (
+                index,
+                report.events,
+                len(report.findings),
+                "yes" if report.truncated else "no",
+                "clean" if report.clean else "DIRTY",
+            )
+        )
+        if report.findings:
+            status = 1
+            parts.append(checker.format_findings(report.findings))
+    parts.insert(
+        0,
+        format_table(
+            f"HB race check -- fault campaign, {nodes} nodes, "
+            f"{rounds} rounds, seed {seed}",
+            ["sim", "hb events", "findings", "truncated", "verdict"],
+            rows,
+            note="every simulation the campaign touched, checked at exit",
+        ),
+    )
+
+    schedules = run_hb_schedules(seed=seed)
+    parts.append("")
+    parts.append(format_report(schedules))
+    if not schedules.ok:
+        status = 1
+    return "\n".join(parts), status
+
+
 def _recover(seed: int, nodes: int) -> str:
     from repro.exp.recovery_campaign import (
         format_recovery_report,
@@ -351,9 +409,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "list", "telemetry", "faults", "recover"],
+        + ["all", "list", "telemetry", "faults", "recover", "races"],
         help="which figure/table to regenerate "
-        "(or 'telemetry' / 'faults' / 'recover')",
+        "(or 'telemetry' / 'faults' / 'recover' / 'races')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps, faster run"
@@ -384,7 +442,9 @@ def main(argv=None) -> int:
 
     if args.experiment == "list":
         try:
-            for name in sorted(EXPERIMENTS) + ["faults", "recover", "telemetry"]:
+            for name in sorted(EXPERIMENTS) + [
+                "faults", "races", "recover", "telemetry"
+            ]:
                 print(name)
         except BrokenPipeError:  # e.g. `repro list | head`
             pass
@@ -397,6 +457,15 @@ def main(argv=None) -> int:
     if args.experiment == "recover":
         print(_recover(seed=args.seed, nodes=args.nodes))
         return 0
+
+    if args.experiment == "races":
+        text, status = _races(
+            seed=args.seed,
+            nodes=args.nodes,
+            rounds=4 if args.quick else args.rounds,
+        )
+        print(text)
+        return status
 
     if args.experiment == "faults":
         print(

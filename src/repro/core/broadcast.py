@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional, Sequence
 
 from repro import params
+from repro.hb import events as hb
 from repro.errors import (
     BroadcastAborted,
     ConsistencyError,
@@ -166,11 +167,24 @@ class CodeFlowGroup:
         fault hook is still consulted so DROPPED_FLUSH faults bite
         this path exactly like the blocking one.
         """
-        _, dropped, _ = codeflow.sync._consult_hook("cc_event", addr, None)
+        sync = codeflow.sync
+        _, dropped, _ = sync._consult_hook("cc_event", addr, None)
+        if params.RDX_HB_CHECK and not dropped:
+            hb.emit(
+                self.sim, "hb.flush.post",
+                qp=sync.qp.qpn, node=sync.qp.rnic.host.name,
+                target=codeflow.sandbox.host.name, addr=addr, length=8,
+            )
         yield self.sim.timeout(params.RDX_CC_EVENT_US)
         if not dropped:
             codeflow.sandbox.host.cache.flush(addr, 8)
-            codeflow.sync.cc_count += 1
+            sync.cc_count += 1
+            if params.RDX_HB_CHECK:
+                hb.emit(
+                    self.sim, "hb.flush",
+                    qp=sync.qp.qpn, node=sync.qp.rnic.host.name,
+                    target=codeflow.sandbox.host.name, addr=addr, length=8,
+                )
 
     def _prepare_leg(
         self, codeflow: CodeFlow, program, span, errors: list

@@ -16,6 +16,7 @@ from typing import Generator, Optional, TYPE_CHECKING
 
 from repro import params
 from repro.errors import DeployError, StaleEpochError, XStateError
+from repro.hb import events as hb
 from repro.ebpf.jit import JitBinary, RelocKind
 from repro.ebpf.maps import BpfMap
 from repro.ebpf.program import BpfProgram
@@ -148,8 +149,10 @@ class CodeFlow:
             )
             if prior != current:
                 self._fenced(prior)
+            self.sync.hb_epoch = epoch
             yield from self.sync.cc_event(self.sandbox.epoch_addr, 8)
         self.epoch = epoch
+        self.sync.hb_epoch = epoch
 
     def check_fence(self) -> Generator:
         """Refuse to mutate a target whose epoch has moved past ours.
@@ -348,7 +351,16 @@ class CodeFlow:
         owner_name = self._hook_owner.get(hook_name)
         existing = self.deployed.get(owner_name) if owner_name else None
         code_addr = self.code_allocator.alloc(len(linked.code), align=64)
-        yield from self.sync.write(code_addr, linked.code)
+        # One hb transaction ties the body writes to their commit CAS:
+        # the race checker requires the commit to be HB-after every
+        # write carrying the same txn id.
+        txn = (
+            hb.txn_note(publishes=(code_addr, len(linked.code)))
+            if params.RDX_HB_CHECK
+            else None
+        )
+        body = {"txn": txn["txn"]} if txn else None
+        yield from self.sync.write(code_addr, linked.code, note=body)
         report.write_us = self.sim.now - mark
 
         # Metadata slot fill (one 256-byte write).
@@ -366,7 +378,7 @@ class CodeFlow:
             name=program.name,
         )
         yield from self.sync.write(
-            self.manifest.metadata_addr + slot * 256, block.encode()
+            self.manifest.metadata_addr + slot * 256, block.encode(), note=body
         )
 
         # Commit: transactional pointer flip on the hook qword.
@@ -379,6 +391,7 @@ class CodeFlow:
             qword_addr=hook_addr,
             new_qword=code_addr,
             expect=expected,
+            note=txn,
         )
         if prior != expected:
             self._unwind_failed_deploy(code_addr, slot)
@@ -462,13 +475,20 @@ class CodeFlow:
             name=program.name,
         )
 
+        txn = (
+            hb.txn_note(publishes=(code_addr, len(linked.code)))
+            if params.RDX_HB_CHECK
+            else None
+        )
+        body = {"txn": txn["txn"]} if txn else None
         mark = self.sim.now
         try:
             yield from self.sync.write_batch(
                 [
                     (code_addr, linked.code),
                     (self.manifest.metadata_addr + slot * 256, block.encode()),
-                ]
+                ],
+                note=body,
             )
         except BaseException:
             self._unwind_failed_deploy(code_addr, slot)
@@ -476,7 +496,7 @@ class CodeFlow:
         report.write_us = self.sim.now - mark
 
         mark = self.sim.now
-        prior = yield from self.sync.cas(hook_addr, expected, code_addr)
+        prior = yield from self.sync.cas(hook_addr, expected, code_addr, note=txn)
         if prior != expected:
             self._unwind_failed_deploy(code_addr, slot)
             raise DeployError(
@@ -678,6 +698,7 @@ class CodeFlow:
         self.deployed.clear()
         self._hook_owner.clear()
         self.epoch = 0
+        self.sync.hb_epoch = None  # unknown until the next stamp_epoch
 
     def adopt(
         self,

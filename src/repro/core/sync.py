@@ -31,6 +31,7 @@ from typing import Generator, Optional
 from repro import params
 from repro.core.retry import RetryPolicy
 from repro.errors import RdmaError, TransientFault
+from repro.hb import events as hb
 from repro.obs import telemetry_of
 from repro.rdma.cq import Completion, WcStatus
 from repro.rdma.qp import QueuePair, WorkRequest, WrOpcode
@@ -68,12 +69,42 @@ class RemoteSync:
         self.tx_count = 0
         self.cc_count = 0
         self.lock_acquires = 0
+        #: The deployment epoch this sync's ops are issued under; set
+        #: by :meth:`repro.core.codeflow.CodeFlow.stamp_epoch` and
+        #: carried on every WR as an hb annotation so the race checker
+        #: can tell a fenced-out writer's bytes from its successor's.
+        self.hb_epoch: Optional[int] = None
         obs = telemetry_of(sim)
         #: Pipelined-path instrumentation (resolved once; hot path).
         self._m_chain_wrs = obs.histogram("rdx.deploy.wrs_per_doorbell")
         self._m_inflight = obs.histogram("rdx.deploy.inflight_depth")
 
     # -- raw one-sided ops --------------------------------------------------
+
+    def _hb_note(self, addr: int, note: "Optional[dict]" = None):
+        """The hb annotation dict for a WR against ``addr`` (or None).
+
+        Classifies control-block words by address (bubble / epoch /
+        lock / doorbell) and tags the current epoch, then merges any
+        caller-supplied annotation (deploy transaction ids).
+        """
+        if not params.RDX_HB_CHECK:
+            return None
+        out: dict = {}
+        if self.hb_epoch is not None:
+            out["epoch"] = self.hb_epoch
+        sandbox = self.sandbox
+        if addr == sandbox.bubble_addr:
+            out["label"] = "bubble"
+        elif addr == sandbox.epoch_addr:
+            out["label"] = "epoch"
+        elif addr == sandbox.lock_addr:
+            out["label"] = "lock"
+        elif addr == sandbox.control_addr + 24:  # OFF_DOORBELL
+            out["label"] = "doorbell"
+        if note:
+            out.update(note)
+        return out or None
 
     def _consult_hook(self, op: str, addr: int, data):
         """Apply an armed fault, if any.
@@ -127,7 +158,7 @@ class RemoteSync:
         )
         return completion
 
-    def write(self, addr: int, data: bytes) -> Generator:
+    def write(self, addr: int, data: bytes, note=None) -> Generator:
         payload, dropped, inject = self._consult_hook("write", addr, data)
         if dropped:
             yield self.sim.timeout(params.RDX_CC_EVENT_US)
@@ -135,7 +166,7 @@ class RemoteSync:
         completion = yield from self._op(
             lambda: WorkRequest(
                 opcode=WrOpcode.RDMA_WRITE, remote_addr=addr, rkey=self.rkey,
-                data=payload,
+                data=payload, hb=self._hb_note(addr, note),
             ),
             "WRITE",
             inject=inject,
@@ -168,7 +199,7 @@ class RemoteSync:
         )
         return completion
 
-    def write_batch(self, ops: "list[tuple[int, bytes]]") -> Generator:
+    def write_batch(self, ops: "list[tuple[int, bytes]]", note=None) -> Generator:
         """Pipelined multi-write: chained WRs, selective signaling.
 
         ``ops`` is ``[(addr, payload), ...]``.  Up to
@@ -205,6 +236,7 @@ class RemoteSync:
                     WorkRequest(
                         opcode=WrOpcode.RDMA_WRITE, remote_addr=addr,
                         rkey=self.rkey, data=payload,
+                        hb=self._hb_note(addr, note),
                     )
                     for addr, payload in window
                 ]
@@ -225,19 +257,20 @@ class RemoteSync:
         completion = yield from self._op(
             lambda: WorkRequest(
                 opcode=WrOpcode.RDMA_READ, remote_addr=addr, rkey=self.rkey,
-                length=length,
+                length=length, hb=self._hb_note(addr),
             ),
             "READ",
             inject=inject,
         )
         return completion.result
 
-    def cas(self, addr: int, compare: int, swap: int) -> Generator:
+    def cas(self, addr: int, compare: int, swap: int, note=None) -> Generator:
         _, _, inject = self._consult_hook("cas", addr, None)
         completion = yield from self._op(
             lambda: WorkRequest(
                 opcode=WrOpcode.COMP_SWAP, remote_addr=addr, rkey=self.rkey,
                 compare=compare, swap_or_add=swap,
+                hb=self._hb_note(addr, note),
             ),
             "CAS",
             inject=inject,
@@ -248,7 +281,7 @@ class RemoteSync:
         completion = yield from self._op(
             lambda: WorkRequest(
                 opcode=WrOpcode.FETCH_ADD, remote_addr=addr, rkey=self.rkey,
-                swap_or_add=delta,
+                swap_or_add=delta, hb=self._hb_note(addr),
             ),
             "FETCH_ADD",
         )
@@ -270,6 +303,7 @@ class RemoteSync:
         qword_addr: int,
         new_qword: int,
         expect: Optional[int] = None,
+        note=None,
     ) -> Generator:
         """Transactional install: stage the object, then flip one qword.
 
@@ -281,15 +315,24 @@ class RemoteSync:
         and the transaction *aborts* (returns the observed value
         without swapping) on mismatch.
         """
+        if params.RDX_HB_CHECK and note is None and obj_bytes:
+            note = hb.txn_note(publishes=(obj_addr, len(obj_bytes)))
+        body_note = None
+        if note:
+            body_note = {
+                k: v for k, v in note.items() if k not in ("pub_addr", "pub_len")
+            }
         if obj_bytes:
-            yield from self.write(obj_addr, obj_bytes)
+            yield from self.write(obj_addr, obj_bytes, note=body_note)
         yield self.sim.timeout(params.RDX_TX_COMMIT_US)
         if expect is not None:
-            prior = yield from self.cas(qword_addr, expect, new_qword)
+            prior = yield from self.cas(qword_addr, expect, new_qword, note=note)
         else:
             prior = yield from self.read(qword_addr, 8)
             prior = int.from_bytes(prior, "little")
-            yield from self.write(qword_addr, new_qword.to_bytes(8, "little"))
+            yield from self.write(
+                qword_addr, new_qword.to_bytes(8, "little"), note=body_note
+            )
         self.tx_count += 1
         return prior
 
@@ -312,6 +355,12 @@ class RemoteSync:
             yield self.sim.timeout(params.RDX_CC_EVENT_US)
             return
         doorbell = self.sandbox.control_addr + 24  # OFF_DOORBELL
+        if params.RDX_HB_CHECK:
+            hb.emit(
+                self.sim, "hb.flush.post",
+                qp=self.qp.qpn, node=self.qp.rnic.host.name,
+                target=self.sandbox.host.name, addr=mem_addr, length=length,
+            )
         self.sim.spawn(
             self.write(doorbell, (1).to_bytes(8, "little")),
             name="cc-doorbell",
@@ -319,6 +368,12 @@ class RemoteSync:
         yield self.sim.timeout(params.RDX_CC_EVENT_US)
         self.sandbox.host.cache.flush(mem_addr, length)
         self.cc_count += 1
+        if params.RDX_HB_CHECK:
+            hb.emit(
+                self.sim, "hb.flush",
+                qp=self.qp.qpn, node=self.qp.rnic.host.name,
+                target=self.sandbox.host.name, addr=mem_addr, length=length,
+            )
 
     # -- rdx_mutual_excl (§3.5 issue 3) ----------------------------------------
 
@@ -350,6 +405,8 @@ class RemoteSync:
                 self.lock_acquires += 1
                 if attempt > 1:
                     obs.counter("rdx.lock.contended_acquires").inc()
+                if params.RDX_HB_CHECK:
+                    self._emit_lock("acquire", owner_token)
                 # Make the acquisition visible to the local CPU quickly.
                 yield from self.cc_event(lock_addr, 8)
                 return attempt
@@ -366,4 +423,14 @@ class RemoteSync:
                 f"unlock of {self.sandbox.name}: lock held by {prior}, "
                 f"not {owner_token}"
             )
+        if params.RDX_HB_CHECK:
+            self._emit_lock("release", owner_token)
         yield from self.cc_event(lock_addr, 8)
+
+    def _emit_lock(self, op: str, owner_token: int) -> None:
+        hb.emit(
+            self.sim, "hb.lock",
+            qp=self.qp.qpn, node=self.qp.rnic.host.name,
+            target=self.sandbox.host.name, addr=self.sandbox.lock_addr,
+            op=op, token=owner_token,
+        )

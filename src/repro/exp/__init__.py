@@ -9,6 +9,7 @@ paper reports, so benchmarks and ``EXPERIMENTS.md`` compare shapes
 from repro.exp.harness import Testbed, format_table, make_testbed
 from repro.exp.fault_campaign import FaultCampaignResult, run_fault_campaign
 from repro.exp.fig2a import run_fig2a
+from repro.exp.hb_schedules import HbSchedulesResult, run_hb_schedules
 from repro.exp.fig2b import run_fig2b
 from repro.exp.fig2c import run_fig2c
 from repro.exp.fig4a import run_fig4a
@@ -21,6 +22,7 @@ from repro.exp.tab_rollback import run_tab_rollback
 
 __all__ = [
     "FaultCampaignResult",
+    "HbSchedulesResult",
     "Testbed",
     "format_table",
     "make_testbed",
@@ -31,6 +33,7 @@ __all__ = [
     "run_fig4a",
     "run_fig4b",
     "run_fig5",
+    "run_hb_schedules",
     "run_tab_broadcast",
     "run_tab_mesh",
     "run_tab_redis",

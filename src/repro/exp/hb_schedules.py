@@ -1,0 +1,277 @@
+"""Known-bad (and known-clean) schedules for the hb race checker.
+
+Each schedule builds a fresh testbed, drives a specific interleaving,
+and runs :func:`repro.hb.checker.consume` over the recorded trace.
+The known-bad schedules reconstruct the bug classes the ordering
+model exists to catch -- a detector that stays silent on its own bug
+class is dead, and :func:`run_hb_schedules` reports that as failure
+so CI can gate on it:
+
+* ``reordered-commit`` -- the serial deploy ablation with the commit
+  CAS posted on a sibling QP concurrently with the body write: the
+  completion-fallacy bug (a completion on one QP says nothing about
+  another QP's posts).  A sharded-SQ deploy engine that splits body
+  and commit across QPs for throughput ships exactly this race.
+* ``fenceless-stale-writer`` -- a superseded control plane keeps
+  writing through the raw sync layer after its successor raised the
+  target's epoch, skipping ``check_fence``.
+* ``torn-install`` -- a writer rewrites a live image range while the
+  data path executes it; no bubble, no fresh pages, no flush edge.
+* ``bubble-race`` -- two owners flip the bubble word concurrently
+  (broadcast raising vs a reconciler-style sweep lowering).
+* ``clean-deploy`` -- the control: inject, redeploy, and data-path
+  executions through the real stack must produce zero findings.
+
+Run directly for the CI gate::
+
+    PYTHONPATH=src python -m repro.exp.hb_schedules
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import params
+from repro.core.control_plane import _pd_of
+from repro.core.sync import RemoteSync
+from repro.ebpf.stress import make_stress_program
+from repro.errors import SandboxCrash
+from repro.exp.harness import Testbed, format_table, make_testbed
+from repro.hb import checker
+from repro.hb import events as hb_events
+from repro.mem.layout import pack_qword
+from repro.rdma.verbs import connect_qps, open_device
+from repro.sandbox.sandbox import Sandbox
+
+
+@dataclass
+class ScheduleResult:
+    """One schedule's verdict."""
+
+    name: str
+    #: Finding kind this schedule must produce (None = must be clean).
+    expect: Optional[str]
+    kinds: list[str] = field(default_factory=list)
+    events: int = 0
+    findings: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        if self.expect is None:
+            return not self.findings
+        return self.expect in self.kinds
+
+    @property
+    def detail(self) -> str:
+        if not self.findings:
+            return "clean"
+        return ",".join(sorted(set(self.kinds)))
+
+
+@dataclass
+class HbSchedulesResult:
+    seed: int
+    schedules: list[ScheduleResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.schedules) and all(s.ok for s in self.schedules)
+
+
+def _second_sync(bed: Testbed, sandbox: Sandbox) -> RemoteSync:
+    """A sibling QP to ``sandbox`` from the control host.
+
+    Same initiator, same target, different send queue -- the minimal
+    setup where "the other op's completion came back" stops being an
+    ordering fact.
+    """
+    target_ctx = open_device(sandbox.host)
+    target_qp = target_ctx.create_qp(_pd_of(sandbox), target_ctx.create_cq())
+    local_ctx = open_device(bed.control.host)
+    local_qp = local_ctx.create_qp(local_ctx.alloc_pd(), local_ctx.create_cq())
+    connect_qps(local_qp, target_qp)
+    assert sandbox.ctx_manifest is not None
+    return RemoteSync(bed.sim, local_qp, sandbox.ctx_manifest.rkey, sandbox)
+
+
+def _finish(bed: Testbed, result: ScheduleResult) -> ScheduleResult:
+    report = checker.consume(bed.sim)
+    result.events = report.events
+    result.findings = report.findings
+    result.kinds = [f.kind for f in report.findings]
+    return result
+
+
+def _schedule_clean_deploy(seed: int) -> ScheduleResult:
+    bed = make_testbed(n_hosts=1, cores_per_host=4, seed=seed)
+    sim = bed.sim
+    sandbox = bed.sandboxes[0]
+
+    def drive():
+        for version in range(2):
+            program = make_stress_program(
+                150, seed=seed * 17 + version, name="hbclean"
+            )
+            yield from bed.control.inject(bed.codeflow, program, "ingress")
+            for _ in range(3):
+                sandbox.run_hook("ingress", bytes(256))
+                yield sim.timeout(5.0)
+
+    sim.run_process(drive())
+    return _finish(bed, ScheduleResult("clean-deploy", expect=None))
+
+
+def _schedule_reordered_commit(seed: int) -> ScheduleResult:
+    bed = make_testbed(n_hosts=1, cores_per_host=4, seed=seed)
+    sim = bed.sim
+    sandbox = bed.sandboxes[0]
+    body_sync = bed.codeflow.sync
+    commit_sync = _second_sync(bed, sandbox)
+    assert sandbox.ctx_manifest is not None
+    code_addr = sandbox.ctx_manifest.code_addr
+    hook_addr = sandbox.hook_table.slot_addr("ingress")
+    body = bytes(range(256)) * 24  # ~6KB: lands in two MTU chunks
+
+    note = hb_events.txn_note(publishes=(code_addr, len(body)))
+    sim.spawn(
+        body_sync.write(code_addr, body, note={"txn": note["txn"]}),
+        name="hb-body",
+    )
+    sim.spawn(
+        commit_sync.cas(hook_addr, 0, code_addr, note=note), name="hb-commit"
+    )
+    sim.run(until=sim.now + 10_000)
+    return _finish(
+        bed, ScheduleResult("reordered-commit", expect="commit-before-body")
+    )
+
+
+def _schedule_fenceless_stale_writer(seed: int) -> ScheduleResult:
+    from repro.core.control_plane import RdxControlPlane
+
+    bed = make_testbed(n_hosts=1, cores_per_host=4, seed=seed)
+    sim = bed.sim
+    sandbox = bed.sandboxes[0]
+    stale_sync = bed.codeflow.sync  # epoch 1, about to be superseded
+
+    def drive():
+        # A successor incarnation claims the next epoch from the same
+        # journal and fences the target.
+        successor = RdxControlPlane(
+            bed.control.host, journal=bed.control.journal
+        )
+        yield from successor.create_codeflow(sandbox)
+        # The fenced-out plane keeps writing through the raw sync
+        # layer -- no check_fence, the bug this detector exists for.
+        assert sandbox.ctx_manifest is not None
+        yield from stale_sync.write(
+            sandbox.ctx_manifest.metadata_addr, b"\xde\xad" * 64
+        )
+
+    sim.run_process(drive())
+    return _finish(
+        bed,
+        ScheduleResult("fenceless-stale-writer", expect="stale-epoch-write"),
+    )
+
+
+def _schedule_torn_install(seed: int) -> ScheduleResult:
+    bed = make_testbed(n_hosts=1, cores_per_host=4, seed=seed)
+    sim = bed.sim
+    sandbox = bed.sandboxes[0]
+    program = make_stress_program(400, seed=seed + 5, name="hbtorn")
+    sim.run_process(bed.control.inject(bed.codeflow, program, "ingress"))
+    record = bed.codeflow.deployed[program.name]
+    writer = _second_sync(bed, sandbox)
+    junk = b"\xcc" * record.code_len
+    # Overwrite the live image in place -- no fresh pages, no pointer
+    # flip -- while the data path executes it.
+    sim.spawn(writer.write(record.code_addr, junk), name="hb-clobber")
+    sim.run(until=sim.now + 2.5)  # mid-landing: first chunk is down
+    try:
+        sandbox.run_hook("ingress", bytes(256))
+    except SandboxCrash:
+        pass  # decoding the torn image may well crash -- that's the bug
+    sandbox.crashed = False
+    sim.run(until=sim.now + 10_000)
+    return _finish(bed, ScheduleResult("torn-install", expect="torn-exec"))
+
+
+def _schedule_bubble_race(seed: int) -> ScheduleResult:
+    bed = make_testbed(n_hosts=1, cores_per_host=4, seed=seed)
+    sim = bed.sim
+    sandbox = bed.sandboxes[0]
+    raiser = bed.codeflow.sync
+    lowerer = _second_sync(bed, sandbox)
+    bubble = sandbox.bubble_addr
+    sim.spawn(raiser.write(bubble, pack_qword(1)), name="hb-raise")
+    sim.spawn(lowerer.write(bubble, pack_qword(0)), name="hb-lower")
+    sim.run(until=sim.now + 10_000)
+    return _finish(bed, ScheduleResult("bubble-race", expect="bubble-race"))
+
+
+_SCHEDULES = (
+    _schedule_clean_deploy,
+    _schedule_reordered_commit,
+    _schedule_fenceless_stale_writer,
+    _schedule_torn_install,
+    _schedule_bubble_race,
+)
+
+
+def run_hb_schedules(seed: int = 0) -> HbSchedulesResult:
+    """Run every schedule with checking forced on; restore the flag."""
+    result = HbSchedulesResult(seed=seed)
+    saved = params.RDX_HB_CHECK
+    params.RDX_HB_CHECK = True
+    try:
+        for schedule in _SCHEDULES:
+            result.schedules.append(schedule(seed))
+    finally:
+        params.RDX_HB_CHECK = saved
+    return result
+
+
+def format_report(result: HbSchedulesResult) -> str:
+    rows = [
+        [
+            s.name,
+            s.expect or "(clean)",
+            s.detail,
+            s.events,
+            "ok" if s.ok else "FAIL",
+        ]
+        for s in result.schedules
+    ]
+    lines = [
+        format_table(
+            "hb known-bad schedule validation",
+            ["schedule", "expected", "found", "hb events", "verdict"],
+            rows,
+        )
+    ]
+    for s in result.schedules:
+        if not s.ok and s.findings:
+            lines.append(f"-- unexpected findings for {s.name}:")
+            lines.extend(f.describe() for f in s.findings)
+        elif not s.ok:
+            lines.append(
+                f"-- DEAD DETECTOR: {s.name} produced no "
+                f"{s.expect} finding"
+            )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    result = run_hb_schedules()
+    print(format_report(result))
+    if not result.ok:
+        print("hb schedule validation FAILED")
+        return 1
+    print("all detectors fire on their bug class; clean schedule is clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

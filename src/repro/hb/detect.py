@@ -1,0 +1,333 @@
+"""Race detectors over the happens-before graph.
+
+Four detector families, matching the bug classes PRs 2-4 ship tests
+around by hand:
+
+* **unordered-write-write / torn-exec** -- two effects touching
+  overlapping remote ranges on one target with no HB path between
+  them.  A WRITE racing a WRITE tears whichever object spans the
+  range; a WRITE racing an EXEC is a torn install *visible to the
+  data path*.  Atomic-vs-atomic pairs are excluded (the RNIC
+  serializes qword atomics by construction).
+* **bubble-race** -- the WRITE/WRITE case specialized to the bubble
+  control word: broadcast raising it while another owner (the
+  reconciler's stranded-bubble sweep) lowers it.
+* **commit-before-body** -- a commit CAS whose transaction still has
+  body writes not HB-before it: the completion-fallacy bug, where a
+  posted-but-unconfirmed body chunk is treated as ordered because
+  *some* completion came back.
+* **stale-epoch-write** -- a mutating effect carrying an epoch tag
+  older than a fence CAS that already raised the target's epoch:
+  a fenced-out writer whose bytes still landed.
+
+Every finding names the two events, the overlapping range, and the
+edge that would have to exist for the schedule to be race-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hb.events import HbEvent
+from repro.hb.graph import HbGraph
+
+#: Stop appending findings past this many (a detector gone wrong on a
+#: dense trace should not OOM the test run; the count still reports).
+MAX_FINDINGS = 200
+
+_ATOMIC_KINDS = ("CAS", "FADD")
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One detected race: two events with no ordering between them."""
+
+    kind: str
+    target: str
+    #: Overlapping half-open byte range ``[lo, hi)`` on the target.
+    range: tuple[int, int]
+    first: HbEvent
+    second: HbEvent
+    #: The HB edge whose absence makes this a race.
+    missing_edge: str
+
+    def describe(self) -> str:
+        lo, hi = self.range
+        return (
+            f"{self.kind} on {self.target} [{lo:#x}, {hi:#x}):\n"
+            f"    first:  {self.first.describe()}\n"
+            f"    second: {self.second.describe()}\n"
+            f"    missing edge: {self.missing_edge}"
+        )
+
+
+def _overlap(
+    a: tuple[int, int], b: tuple[int, int]
+) -> Optional[tuple[int, int]]:
+    lo = max(a[0], b[0])
+    hi = min(a[1], b[1])
+    return (lo, hi) if lo < hi else None
+
+
+def _effect_range(event: HbEvent) -> Optional[tuple[int, int]]:
+    """The range an event *mutates or executes* (None for reads)."""
+    if event.etype == "exec":
+        return event.range
+    if event.etype != "land":
+        return None
+    kind = event.kind
+    if kind == "WRITE":
+        return event.range if event.length else None
+    if kind in _ATOMIC_KINDS:
+        # A failed CAS mutates nothing -- it is a read.
+        if kind == "CAS" and not event.get("success", False):
+            return None
+        return event.range
+    return None
+
+
+def detect_races(
+    graph: HbGraph, check_unflushed_exec: bool = False
+) -> list[RaceFinding]:
+    """Run every detector; findings come back in trace order."""
+    findings: list[RaceFinding] = []
+    _detect_overlap_races(graph, findings)
+    _detect_commit_before_body(graph, findings)
+    _detect_stale_epoch_writers(graph, findings)
+    if check_unflushed_exec:
+        _detect_unflushed_exec(graph, findings)
+    findings.sort(key=lambda f: (f.first.seq, f.second.seq))
+    return findings
+
+
+# -- WRITE/WRITE and WRITE/EXEC overlap ------------------------------------
+
+
+def _detect_overlap_races(
+    graph: HbGraph, findings: list[RaceFinding]
+) -> None:
+    by_target: dict[str, list[tuple[tuple[int, int], HbEvent]]] = {}
+    for event in graph.events:
+        span = _effect_range(event)
+        if span is None or event.target is None:
+            continue
+        by_target.setdefault(event.target, []).append((span, event))
+
+    for target, effects in by_target.items():
+        effects.sort(key=lambda item: (item[0][0], item[1].seq))
+        # Interval sweep: compare each effect against the still-open
+        # intervals that start no later than it does.
+        active: list[tuple[tuple[int, int], HbEvent]] = []
+        for span, event in effects:
+            active = [item for item in active if item[0][1] > span[0]]
+            for other_span, other in active:
+                if len(findings) >= MAX_FINDINGS:
+                    return
+                if other.actor == event.actor:
+                    continue  # same SQ / same CPU: FIFO-ordered
+                overlap = _overlap(span, other_span)
+                if overlap is None:
+                    continue
+                classified = _classify_pair(other, event)
+                if classified is None:
+                    continue
+                if not graph.concurrent(other, event):
+                    continue
+                race_kind, missing = classified
+                first, second = (
+                    (other, event) if other.seq < event.seq else (event, other)
+                )
+                findings.append(
+                    RaceFinding(
+                        kind=race_kind,
+                        target=target,
+                        range=overlap,
+                        first=first,
+                        second=second,
+                        missing_edge=missing,
+                    )
+                )
+            active.append((span, event))
+
+
+def _classify_pair(a: HbEvent, b: HbEvent) -> Optional[tuple[str, str]]:
+    """(finding kind, missing edge text) for a racing pair, or None."""
+    a_exec = a.etype == "exec"
+    b_exec = b.etype == "exec"
+    if a_exec and b_exec:
+        return None  # two executions race on nothing
+    a_atomic = a.kind in _ATOMIC_KINDS
+    b_atomic = b.kind in _ATOMIC_KINDS
+    if a_atomic and b_atomic:
+        return None  # the RNIC serializes qword atomics
+    if a.get("label") == "doorbell" and b.get("label") == "doorbell":
+        # The cc_event doorbell is a value-independent kick: any
+        # interleaving of kicks flushes the line, so concurrent
+        # doorbells from two owners are commutative by design.
+        return None
+    if a_exec or b_exec:
+        return (
+            "torn-exec",
+            "writer completion (or flush) -> execute: the data path can "
+            "decode a partially landed image",
+        )
+    if a.get("label") == "bubble" or b.get("label") == "bubble":
+        return (
+            "bubble-race",
+            "bubble owners must be serialized by an epoch fence or lock "
+            "edge; concurrent raise/lower leaves the flag in either state",
+        )
+    return (
+        "unordered-write-write",
+        "one writer's signaled completion -> the other's post "
+        "(same-QP FIFO, a lock edge, or an epoch fence would also do)",
+    )
+
+
+# -- commit-before-body ----------------------------------------------------
+
+
+def _detect_commit_before_body(
+    graph: HbGraph, findings: list[RaceFinding]
+) -> None:
+    writes_by_txn: dict[int, list[HbEvent]] = {}
+    commits: list[HbEvent] = []
+    for event in graph.events:
+        if event.etype != "land":
+            continue
+        txn = event.get("txn")
+        if txn is None:
+            continue
+        if event.kind == "WRITE":
+            writes_by_txn.setdefault(txn, []).append(event)
+        elif event.kind == "CAS" and event.get("pub_addr") is not None:
+            commits.append(event)
+    for commit in commits:
+        for write in writes_by_txn.get(commit.get("txn"), ()):
+            if graph.happens_before(write, commit):
+                continue
+            if len(findings) >= MAX_FINDINGS:
+                return
+            span = write.range or (0, 0)
+            findings.append(
+                RaceFinding(
+                    kind="commit-before-body",
+                    target=str(commit.target),
+                    range=span,
+                    first=write,
+                    second=commit,
+                    missing_edge=(
+                        "body write land -> commit CAS: the commit must be "
+                        "HB-after every chunk it publishes (a completion on "
+                        "another QP is not that edge -- the completion "
+                        "fallacy)"
+                    ),
+                )
+            )
+
+
+# -- stale-epoch writers ---------------------------------------------------
+
+
+def _detect_stale_epoch_writers(
+    graph: HbGraph, findings: list[RaceFinding]
+) -> None:
+    raises: dict[str, list[HbEvent]] = {}
+    for event in graph.events:
+        if (
+            event.etype == "land"
+            and event.kind == "CAS"
+            and event.get("label") == "epoch"
+            and event.get("success")
+        ):
+            raises.setdefault(str(event.target), []).append(event)
+    if not raises:
+        return
+    for event in graph.events:
+        span = _effect_range(event)
+        if span is None or event.etype != "land":
+            continue
+        tag = event.get("epoch")
+        if tag is None or event.get("label") == "epoch":
+            continue
+        for fence in raises.get(str(event.target), ()):
+            new_epoch = fence.get("value")
+            if new_epoch is None or tag >= new_epoch:
+                continue
+            if event.actor == fence.actor:
+                # The fence's own QP: the owner raising its own epoch
+                # can still have old-tagged ops in flight (a spawned
+                # doorbell) -- SQ FIFO orders them, not a violation.
+                continue
+            if fence.seq < event.seq:
+                if len(findings) >= MAX_FINDINGS:
+                    return
+                findings.append(
+                    RaceFinding(
+                        kind="stale-epoch-write",
+                        target=str(event.target),
+                        range=span,
+                        first=fence,
+                        second=event,
+                        missing_edge=(
+                            f"epoch-{tag} writer -> fence CAS raising to "
+                            f"{new_epoch}: bytes from a fenced-out owner "
+                            "landed after the fence (check_fence was "
+                            "skipped or raced)"
+                        ),
+                    )
+                )
+                break
+
+
+# -- unflushed exec (opt-in) ----------------------------------------------
+
+
+def _detect_unflushed_exec(
+    graph: HbGraph, findings: list[RaceFinding]
+) -> None:
+    """An exec that observed an RDMA-installed pointer with no flush
+    HB-before it: the CPU's view depended on a cache eviction, not an
+    ordering edge.  Off by default -- the Fig 5 incoherence window is
+    *tolerated* (not racy) for arms that choose eventual visibility.
+    """
+    for event in graph.events:
+        if event.etype != "exec":
+            continue
+        clock = graph.clocks[event.seq]
+        installer_seen = any(
+            actor.startswith("qp:") for actor in clock if actor != event.actor
+        )
+        if not installer_seen:
+            continue
+        flushed = False
+        for other in graph.events:
+            if other.etype == "flush" and other.target == event.target:
+                span = other.range
+                hook = event.get("hook_addr")
+                if (
+                    span is not None
+                    and hook is not None
+                    and span[0] <= hook < span[1]
+                    and graph.happens_before(other, event)
+                ):
+                    flushed = True
+                    break
+        if not flushed:
+            if len(findings) >= MAX_FINDINGS:
+                return
+            findings.append(
+                RaceFinding(
+                    kind="unflushed-exec",
+                    target=str(event.target),
+                    range=event.range or (0, 0),
+                    first=event,
+                    second=event,
+                    missing_edge=(
+                        "rdx_cc_event flush -> execute: without it the "
+                        "observed pointer rode a cache eviction, not an "
+                        "ordering edge (completion-fallacy territory)"
+                    ),
+                )
+            )

@@ -103,6 +103,17 @@ RDX_PIPELINED_DEPLOY = os.environ.get("RDX_PIPELINED_DEPLOY", "1") not in (
     "0", "false", "no",
 )
 
+#: Master switch for happens-before race checking (:mod:`repro.hb`).
+#: When on, the RNIC / sync / sandbox layers emit ``hb.*`` trace
+#: events and the pytest fixture in ``tests/conftest.py`` runs the
+#: race detectors over every simulator's recorded trace at teardown.
+#: A mutable module global like :data:`RDX_PIPELINED_DEPLOY` so tests
+#: and the ``races`` CLI can flip it inside one process; the
+#: environment sets only the default (``RDX_HB_CHECK=1`` to enable).
+RDX_HB_CHECK = os.environ.get("RDX_HB_CHECK", "0") not in (
+    "0", "false", "no", "",
+)
+
 #: Control-plane dispatch overhead on the *pipelined* path, us.  The
 #: serial path pays :data:`RDX_DISPATCH_US` preparing and polling one
 #: WQE per op; chaining prepares the whole WR list once and polls a

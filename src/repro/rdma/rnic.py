@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro import params
 from repro.errors import ProtectionError, RdmaError
+from repro.hb import events as hb
 from repro.mem.layout import pack_qword, unpack_qword
 from repro.net.topology import Host
 from repro.obs import telemetry_of
@@ -65,6 +66,8 @@ class Rnic:
 
     def submit(self, qp: QueuePair, wr: WorkRequest) -> Event:
         """Queue a WR for processing; event fires with its Completion."""
+        if params.RDX_HB_CHECK:
+            hb.emit_post(self.sim, qp, wr, chain=None, signaled=True)
         done = self.sim.event()
         self.sim.spawn(self._process(qp, wr, done), name=f"wqe:{wr.opcode.value}")
         return done
@@ -93,6 +96,8 @@ class Rnic:
             self._m_errors.inc()
         qp.cq.push(completion)
         self._m_cq_depth.observe(len(qp.cq))
+        if params.RDX_HB_CHECK:
+            hb.emit_comp(self.sim, qp, wr.wr_id, status=completion.status.value)
         done.succeed(completion)
 
     def submit_batch(self, qp: QueuePair, wrs: list[WorkRequest]) -> Event:
@@ -103,19 +108,34 @@ class Rnic:
         WRITE chains are supported -- the deploy fast path is all
         one-sided WRITEs, and mixing opcodes would complicate the
         failure model for no caller.
+
+        Observability: per-WR remote address ranges and signaled flags
+        are surfaced as ``hb.post`` events (one per chained WR, not one
+        per doorbell) -- only the tail WR is signaled, so nothing but
+        the chain's single CQE can be mistaken for an ordering point.
         """
         for wr in wrs:
             if wr.opcode is not WrOpcode.RDMA_WRITE:
                 raise RdmaError(
                     f"WR chains support RDMA_WRITE only, got {wr.opcode}"
                 )
+        chain = None
+        if params.RDX_HB_CHECK:
+            chain = hb.new_chain_id()
+            for wr in wrs:
+                hb.emit_post(
+                    self.sim, qp, wr, chain=chain, signaled=wr is wrs[-1]
+                )
         done = self.sim.event()
         self.sim.spawn(
-            self._process_batch(qp, wrs, done), name=f"wqe-chain:{len(wrs)}"
+            self._process_batch(qp, wrs, done, chain),
+            name=f"wqe-chain:{len(wrs)}",
         )
         return done
 
-    def _process_batch(self, qp: QueuePair, wrs: list[WorkRequest], done: Event):
+    def _process_batch(
+        self, qp: QueuePair, wrs: list[WorkRequest], done: Event, chain=None
+    ):
         grant = self._pipeline.request()
         yield grant
         bytes_before = self.bytes_dma
@@ -129,7 +149,7 @@ class Rnic:
                     chained=len(wrs),
                 )
             else:
-                completion = yield from self._execute_chain(qp, wrs)
+                completion = yield from self._execute_chain(qp, wrs, chain)
         finally:
             self._pipeline.release(grant)
         qp.completed += len(wrs)
@@ -141,6 +161,15 @@ class Rnic:
             self._m_errors.inc()
         qp.cq.push(completion)
         self._m_cq_depth.observe(len(qp.cq))
+        if params.RDX_HB_CHECK:
+            hb.emit_comp(
+                self.sim,
+                qp,
+                completion.wr_id,
+                status=completion.status.value,
+                chain=chain,
+                chained=len(wrs),
+            )
         done.succeed(completion)
 
     # -- execution ---------------------------------------------------------
@@ -193,7 +222,7 @@ class Rnic:
             result=result,
         )
 
-    def _execute_chain(self, qp: QueuePair, wrs: list[WorkRequest]):
+    def _execute_chain(self, qp: QueuePair, wrs: list[WorkRequest], chain=None):
         """Service a WRITE chain as one pipelined stream.
 
         Cost model: one doorbell + one WQE-list fetch at the initiator,
@@ -236,6 +265,8 @@ class Rnic:
                     self.bytes_dma += len(chunk)
                     offset += len(chunk)
                 landed += 1
+                if params.RDX_HB_CHECK:
+                    self._emit_write_land(qp, wr, chain)
             # Single ACK for the signaled tail WR.
             yield self.sim.timeout(params.NET_BASE_LATENCY_US)
         except ProtectionError as err:
@@ -263,6 +294,14 @@ class Rnic:
             byte_len=sum(wr.wire_bytes() for wr in wrs),
             chained=len(wrs),
         )
+
+    def _emit_write_land(self, qp: QueuePair, wr: WorkRequest, chain=None):
+        """Record a fully landed WRITE; 8-byte writes carry the qword
+        now in DRAM so reads-from edges can be recovered."""
+        value = None
+        if len(wr.data) == 8:
+            value = unpack_qword(wr.data)
+        hb.emit_land(self.sim, qp, wr, chain=chain, value=value)
 
     def _check_reachable(self, remote_host: Host) -> None:
         """Raise :class:`_Unreachable` when the target cannot ACK."""
@@ -307,6 +346,8 @@ class Rnic:
             remote_host.cache.dma_write(wr.remote_addr + offset, chunk)
             self.bytes_dma += len(chunk)
             offset += len(chunk)
+        if params.RDX_HB_CHECK:
+            self._emit_write_land(qp, wr)
         # ACK back to the initiator.
         yield self.sim.timeout(params.NET_BASE_LATENCY_US)
         return None
@@ -318,6 +359,9 @@ class Rnic:
         )
         data = remote_host.cache.dma_read(wr.remote_addr, wr.length)
         self.bytes_dma += wr.length
+        if params.RDX_HB_CHECK:
+            value = unpack_qword(data) if wr.length == 8 else None
+            hb.emit_land(self.sim, qp, wr, value=value)
         # Response serialization + return latency.
         yield self.sim.timeout(
             wr.length / params.RDMA_BANDWIDTH_BPUS + params.NET_BASE_LATENCY_US
@@ -332,12 +376,24 @@ class Rnic:
         yield self.sim.timeout(params.RDMA_ATOMIC_RTT_US)
         original = unpack_qword(remote_host.memory.read(wr.remote_addr, 8))
         if wr.opcode is WrOpcode.COMP_SWAP:
-            if original == wr.compare:
+            success = original == wr.compare
+            if success:
                 remote_host.cache.dma_write(wr.remote_addr, pack_qword(wr.swap_or_add))
+            if params.RDX_HB_CHECK:
+                hb.emit_land(
+                    self.sim, qp, wr,
+                    value=wr.swap_or_add if success else None,
+                    success=success,
+                )
         else:  # FETCH_ADD
             remote_host.cache.dma_write(
                 wr.remote_addr, pack_qword(original + wr.swap_or_add)
             )
+            if params.RDX_HB_CHECK:
+                hb.emit_land(
+                    self.sim, qp, wr,
+                    value=original + wr.swap_or_add, success=True,
+                )
         self.bytes_dma += 8
         return original
 

@@ -424,6 +424,8 @@ class Sandbox:
         pointer = self.hook_table.read_pointer(hook_name)
         if pointer == 0:
             return None, 0.1  # empty-hook fast path
+        if params.RDX_HB_CHECK:
+            self._emit_hb_exec(hook_name, pointer)
         try:
             insns = self._decode_at(pointer)
             interp = Interpreter(maps=self.maps, time_ns=time_ns)
@@ -451,6 +453,8 @@ class Sandbox:
         pointer = self.hook_table.read_pointer(hook_name)
         if pointer == 0:
             return None, 0.1
+        if params.RDX_HB_CHECK:
+            self._emit_hb_exec(hook_name, pointer)
         try:
             header = self.host.cache.cpu_read(pointer, 8)
             slot_count = int.from_bytes(header[4:8], "little")
@@ -474,6 +478,36 @@ class Sandbox:
         self.events_executed += 1
         cost_us = result.insns_executed / params.CPU_INSN_PER_US + 0.2
         return result, cost_us
+
+    def _emit_hb_exec(self, hook_name: str, pointer: int) -> None:
+        """Record the hook execution for the happens-before checker.
+
+        Emitted *before* decoding, so an exec that crashes on a torn
+        image still shows up as the racing read it was.  The code
+        range is sized from the image header through the cache -- the
+        same bytes the decode is about to read -- clamped to the code
+        region when the header itself is torn garbage.
+        """
+        from repro.hb import events as hb_events
+
+        try:
+            header = self.host.cache.cpu_read(pointer, 8)
+            slot_count = int.from_bytes(header[4:8], "little")
+            total = 8 + slot_count * 10 + 4
+            if not 0 < total <= self.code_bytes:
+                total = self.code_bytes
+        except Exception:
+            total = 8
+        hb_events.emit(
+            self.host.sim,
+            "hb.exec",
+            target=self.host.name,
+            hook=hook_name,
+            hook_addr=self.hook_table.slot_addr(hook_name),
+            pointer=pointer,
+            addr=pointer,
+            length=total,
+        )
 
     def _decode_at(self, code_addr: int):
         header = self.host.cache.cpu_read(code_addr, 8)

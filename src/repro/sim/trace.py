@@ -66,14 +66,46 @@ class TraceRecorder:
         self,
         category: Optional[str] = None,
         predicate: Optional[Callable[[TraceEvent], bool]] = None,
+        address_range: Optional[tuple[int, int]] = None,
     ) -> Iterator[TraceEvent]:
-        """Yield events matching a category prefix and/or predicate."""
+        """Yield events matching a category prefix and/or predicate.
+
+        ``address_range`` is a half-open ``(lo, hi)`` byte range: only
+        events whose payload carries an ``addr`` (plus optional
+        ``length``, default 1) overlapping it are yielded.  Events
+        without an ``addr`` never match a range filter.
+        """
+        if address_range is not None:
+            lo, hi = address_range
         for event in self.events:
             if category is not None and not event.category.startswith(category):
                 continue
+            if address_range is not None:
+                addr = event.data.get("addr")
+                if addr is None:
+                    continue
+                length = max(int(event.data.get("length", 1)), 1)
+                if addr >= hi or addr + length <= lo:
+                    continue
             if predicate is not None and not predicate(event):
                 continue
             yield event
+
+    def since(self, time_us: float) -> list[TraceEvent]:
+        """Events with ``event.time_us >= time_us``, oldest first.
+
+        Events are appended in nondecreasing simulated time, so this
+        walks backwards from the newest event and stops at the first
+        older one -- O(matched) instead of O(all) for the common
+        "what happened since my checkpoint" query.
+        """
+        out: list[TraceEvent] = []
+        for event in reversed(self.events):
+            if event.time_us < time_us:
+                break
+            out.append(event)
+        out.reverse()
+        return out
 
     def durations(self, start_category: str, end_category: str, key: str) -> list[float]:
         """Pair start/end events by ``data[key]`` and return durations.

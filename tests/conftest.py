@@ -23,3 +23,31 @@ def testbed() -> Testbed:
 def testbed2() -> Testbed:
     """Two data hosts (for broadcast/migration tests)."""
     return make_testbed(n_hosts=2, cores_per_host=4)
+
+
+@pytest.fixture(autouse=True)
+def _hb_check():
+    """Race-check every simulation a test touched (RDX_HB_CHECK=1).
+
+    When checking is enabled, every sim that emitted an hb event is
+    registered in :mod:`repro.hb.events`; at teardown each one's trace
+    is run through the detectors and any finding fails the test.
+    Tests that deliberately construct a race consume their sim first
+    (``checker.consume(sim)``) so it is no longer registered here.
+    """
+    from repro.hb import checker, enabled
+
+    if not enabled():
+        yield
+        return
+    checker.reset_active()
+    yield
+    reports = checker.check_active()
+    checker.reset_active()
+    findings = [f for _sim, report in reports for f in report.findings]
+    if findings:
+        pytest.fail(
+            "happens-before race(s) detected:\n"
+            + checker.format_findings(findings),
+            pytrace=False,
+        )
