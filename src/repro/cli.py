@@ -286,11 +286,28 @@ def _telemetry(quick: bool, fmt: str = "table") -> str:
 
 
 def _faults(
-    rounds: int, seed: int, nodes: int, allow_partial: bool
+    rounds: int, seed: int, nodes: int, allow_partial: bool,
+    scrape: bool = False, telemetry_out: str = "",
 ) -> str:
+    bed = None
+    if scrape or telemetry_out:
+        from repro.exp.harness import make_testbed
+
+        bed = make_testbed(n_hosts=nodes, cores_per_host=8, seed=seed)
     result = run_fault_campaign(
-        n_hosts=nodes, rounds=rounds, seed=seed, allow_partial=allow_partial
+        n_hosts=nodes, rounds=rounds, seed=seed, allow_partial=allow_partial,
+        testbed=bed, scrape=scrape or bool(telemetry_out),
     )
+    if telemetry_out:
+        import os
+
+        from repro.obs import export_jsonl, export_prometheus
+
+        os.makedirs(telemetry_out, exist_ok=True)
+        with open(os.path.join(telemetry_out, "snap.prom"), "w") as fh:
+            fh.write(export_prometheus(bed.obs))
+        with open(os.path.join(telemetry_out, "snap.jsonl"), "w") as fh:
+            fh.write(export_jsonl(bed.obs))
     rows = [
         (
             r.index,
@@ -310,6 +327,12 @@ def _faults(
         f"injected, {result.retries_total} transport retries, "
         f"{result.stranded} stranded-bubble rounds (must be 0)"
     )
+    if scrape or telemetry_out:
+        note += (
+            f" | {result.scrapes} one-sided scrapes "
+            f"({result.scrape_retries} seqlock retries, "
+            f"{result.scrape_torn} torn)"
+        )
     return format_table(
         f"Fault campaign -- {result.n_hosts} nodes, seed {result.seed}, "
         f"allow_partial={result.allow_partial}",
@@ -378,6 +401,63 @@ def _races(seed: int, nodes: int, rounds: int) -> tuple[str, int]:
     return "\n".join(parts), status
 
 
+def _blackbox(seed: int, nodes: int) -> str:
+    """Crash the control plane mid-broadcast, then read the black box.
+
+    Models the operator workflow after an incarnation dies: the crash
+    handler snapshotted the flight recorder (recent spans, metric
+    deltas, still-open spans) into the durable intent journal; this
+    command replays those FLIGHT records into a post-mortem report,
+    then shows the successor recovering.
+    """
+    import random as _random
+
+    from repro.core.broadcast import CodeFlowGroup
+    from repro.core.reconcile import Reconciler, resume_control_plane
+    from repro.ebpf.stress import make_stress_program
+    from repro.exp.harness import make_testbed
+    from repro.obs.flight import format_blackbox
+
+    rng = _random.Random(seed)
+    bed = make_testbed(n_hosts=nodes, cores_per_host=8, seed=seed)
+    group = CodeFlowGroup(bed.codeflows)
+
+    def programs(version: int):
+        return [
+            make_stress_program(400, seed=version * 31 + i, name=f"bb{i}")
+            for i in range(len(bed.codeflows))
+        ]
+
+    # A committed baseline, then a broadcast that dies mid-flight.
+    bed.sim.run_process(group.broadcast(programs(1), "ingress"))
+    proc = bed.sim.spawn(
+        group.broadcast(programs(2), "ingress"), name="doomed-broadcast"
+    )
+    bed.sim.run(until=bed.sim.now + 20.0 + rng.uniform(0.0, 30.0))
+    bed.control.crash()  # journals the FLIGHT snapshot
+    proc.interrupt("control plane fail-stop")
+    bed.sim.run()
+
+    flights = [record.detail for record in bed.control.journal.flight_records()]
+    report = format_blackbox(flights, epoch=bed.control.epoch)
+
+    # The successor recovers; its repairs prove the box was read from
+    # durable state, not from the dead incarnation's memory.
+    plane, codeflows = bed.sim.run_process(
+        resume_control_plane(
+            bed.cluster.control_host, bed.control.journal, bed.sandboxes,
+            trace=bed.trace,
+        )
+    )
+    bed.sim.run_process(Reconciler(plane).reconcile_all(codeflows))
+    aborted = sum(1 for r in plane.journal.records if r.rec == "ABORT")
+    return (
+        report
+        + f"\nrecovery: successor epoch {plane.epoch}, "
+        f"{aborted} dangling txn(s) aborted, cluster reconciled"
+    )
+
+
 def _recover(seed: int, nodes: int) -> str:
     from repro.exp.recovery_campaign import (
         format_recovery_report,
@@ -409,9 +489,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "list", "telemetry", "faults", "recover", "races"],
+        + ["all", "list", "telemetry", "faults", "recover", "races",
+           "blackbox"],
         help="which figure/table to regenerate "
-        "(or 'telemetry' / 'faults' / 'recover' / 'races')",
+        "(or 'telemetry' / 'faults' / 'recover' / 'races' / 'blackbox')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps, faster run"
@@ -438,12 +519,21 @@ def main(argv=None) -> int:
         "--allow-partial", action="store_true",
         help="faults: quorum mode (degrade instead of abort)",
     )
+    parser.add_argument(
+        "--scrape", action="store_true",
+        help="faults: run one-sided telemetry scrapes between rounds",
+    )
+    parser.add_argument(
+        "--telemetry-out", default="", metavar="DIR",
+        help="faults: write snap.prom / snap.jsonl metric snapshots "
+        "to DIR (implies --scrape)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         try:
             for name in sorted(EXPERIMENTS) + [
-                "faults", "races", "recover", "telemetry"
+                "blackbox", "faults", "races", "recover", "telemetry"
             ]:
                 print(name)
         except BrokenPipeError:  # e.g. `repro list | head`
@@ -456,6 +546,10 @@ def main(argv=None) -> int:
 
     if args.experiment == "recover":
         print(_recover(seed=args.seed, nodes=args.nodes))
+        return 0
+
+    if args.experiment == "blackbox":
+        print(_blackbox(seed=args.seed, nodes=args.nodes))
         return 0
 
     if args.experiment == "races":
@@ -474,6 +568,8 @@ def main(argv=None) -> int:
                 seed=args.seed,
                 nodes=args.nodes,
                 allow_partial=args.allow_partial,
+                scrape=args.scrape,
+                telemetry_out=args.telemetry_out,
             )
         )
         return 0

@@ -222,6 +222,7 @@ class CodeFlowGroup:
         deadline_us: Optional[float] = None,
         health: Optional[HealthDetector] = None,
         record_intent: bool = True,
+        tenant: str = "",
     ) -> Generator:
         """Deploy ``programs[i]`` to ``codeflows[i]`` transactionally.
 
@@ -293,7 +294,7 @@ class CodeFlowGroup:
             result = yield from self._broadcast_body(
                 programs, hook_name, order, dependency_order is not None,
                 use_bbu, verify, allow_partial, deadline_us, health, result,
-                txn,
+                txn, tenant,
             )
         except BaseException as err:
             # A crashed incarnation records nothing: the dangling INTEND
@@ -316,7 +317,7 @@ class CodeFlowGroup:
 
     def _broadcast_body(
         self, programs, hook_name, order, ordered, use_bbu, verify,
-        allow_partial, deadline_us, health, result, txn,
+        allow_partial, deadline_us, health, result, txn, tenant="",
     ) -> Generator:
         plane = self.control_plane
         obs = self.control_plane.obs
@@ -324,7 +325,8 @@ class CodeFlowGroup:
         obs.counter("rdx.broadcast.targets").inc(len(self.codeflows))
         obs.histogram("rdx.broadcast.fanout").observe(len(self.codeflows))
         with obs.span(
-            "rdx.broadcast", group_size=len(self.codeflows), bbu=use_bbu
+            "rdx.broadcast", group_size=len(self.codeflows), bbu=use_bbu,
+            tenant=tenant,
         ) as span:
             # Phase 0: make sure every program is validated + compiled
             # *before* any bubble rises -- the registry's "validate once,
@@ -478,6 +480,9 @@ class CodeFlowGroup:
                         yield self.sim.all_of(flushes)
         result.bubble_lowered_us = self.sim.now
         result.bubble_window_us = result.bubble_lowered_us - result.bubble_raised_us
+        # The window is only known after the span closed; stamp it onto
+        # the finished span so trace reconstruction can report it.
+        span.attrs["bubble_window_us"] = result.bubble_window_us
         # BBU buffering cost proxy: how long every target held requests.
         obs.histogram("rdx.broadcast.bubble_window_us").observe(
             result.bubble_window_us

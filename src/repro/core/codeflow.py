@@ -53,6 +53,9 @@ class DeployReport:
     commit_us: float = 0.0
     cc_us: float = 0.0
     total_us: float = 0.0
+    #: Where the image landed -- the join key between this deploy's
+    #: trace and the sandbox-side first-exec edge (obs/spans.py).
+    code_addr: int = 0
 
     def phases(self) -> dict[str, float]:
         return {
@@ -114,6 +117,9 @@ class CodeFlow:
         self._hook_owner: dict[str, str] = {}
         self.reports: list[DeployReport] = []
         self._lock_token = 0xC0DE_0000 + sandbox.sandbox_id
+        #: Tenant label stamped on this target's deploy metrics and
+        #: trace roots (multi-tenant aggregation; "" = unowned).
+        self.tenant = ""
         #: True when the last :meth:`link_code` was served from the
         #: control plane's linked-image cache -- the fast deploy path
         #: then skips the stub rendezvous (the layout is already known).
@@ -308,6 +314,10 @@ class CodeFlow:
             if params.RDX_PIPELINED_DEPLOY
             else self._deploy_body
         )
+        # Trace context rides the sync layer for the body's duration:
+        # every WR chain, chunk land, commit CAS, and cc flush below
+        # is recorded under this span's trace id.
+        saved_trace, self.sync.trace_span = self.sync.trace_span, span
         try:
             report = yield from body(
                 program, linked, hook_name, flush_hook, retain_history,
@@ -317,7 +327,9 @@ class CodeFlow:
             span.status = "error"
             span.finish(error=str(err))
             raise
-        span.finish(total_us=report.total_us)
+        finally:
+            self.sync.trace_span = saved_trace
+        span.finish(total_us=report.total_us, code_addr=report.code_addr)
         self._observe_deploy(report, len(linked.code))
         return report
 
@@ -564,6 +576,7 @@ class CodeFlow:
         self.deployed[program.name] = record
         self._hook_owner[hook_name] = program.name
         report.total_us = self.sim.now - report.started_us
+        report.code_addr = code_addr
         self.reports.append(report)
         self.control_plane.trace.record(
             self.sim.now,
@@ -582,6 +595,17 @@ class CodeFlow:
             if phase == "link":
                 continue  # linking is measured by its own rdx.link span
             self.obs.histogram(f"rdx.deploy.{phase}_us").observe(value)
+        # Install-visible latency, exported per target and per tenant:
+        # total_us ends after the cc flush, i.e. when a data-path read
+        # can first observe the new pointer.
+        self.obs.histogram(
+            "rdx.deploy.install_visible_us",
+            target=self.sandbox.name,
+            tenant=self.tenant,
+        ).observe(report.total_us)
+        self.obs.histogram(
+            "rdx.tenant.install_visible_us", tenant=self.tenant
+        ).observe(report.total_us)
 
     def _pick_metadata_slot(self) -> int:
         for index in range(self.manifest.metadata_slots):

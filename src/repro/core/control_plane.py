@@ -131,6 +131,16 @@ class RdxControlPlane:
         self.crashed = True
         self.trace.record(self.sim.now, "rdx.control.crash", epoch=self.epoch)
         self.obs.counter("rdx.control.crashes").inc()
+        if params.RDX_OBS:
+            # Black-box write-out: snapshot the flight recorder (recent
+            # spans + metric deltas + still-open spans) into the durable
+            # WAL, where the next incarnation -- or an operator running
+            # ``python -m repro.cli blackbox`` -- can read what the dead
+            # incarnation was doing.
+            self.journal.record_flight(
+                self.epoch,
+                self.obs.flight.snapshot(self.obs.tracer.open_spans),
+            )
 
     # -- rdx_create_codeflow ---------------------------------------------------
 
@@ -415,6 +425,11 @@ class RdxControlPlane:
                 txn, target=codeflow.sandbox.name, hook=hook_name,
                 name=program.name, tag=tag,
             )
+        if params.RDX_OBS:
+            # Checkpoint metric deltas into the flight ring at commit
+            # boundaries, so a later crash snapshot carries the counter
+            # movement of the last few lifecycle ops.
+            self.obs.flight.note_metrics(self.obs.registry)
         report.link_us = link_us
         report.total_us += link_us
         entry.deploy_count += 1

@@ -71,6 +71,7 @@ class HealthDetector:
         interval_us: float = params.HEALTH_PROBE_INTERVAL_US,
         suspect_after: int = params.HEALTH_SUSPECT_MISSES,
         dead_after: int = params.HEALTH_DEAD_MISSES,
+        scraper=None,
     ):
         if suspect_after < 1 or dead_after < suspect_after:
             raise ValueError(
@@ -89,6 +90,11 @@ class HealthDetector:
         }
         #: Single-attempt probe policy: misses are lease business.
         self._probe_retry = RetryPolicy(max_attempts=1, jitter_frac=0.0)
+        #: Optional :class:`repro.obs.scrape.TelemetryScraper` invoked
+        #: after each successful probe -- telemetry freshness rides
+        #: the lease interval over the already-warm QP instead of
+        #: owning a timer wheel of its own.
+        self.scraper = scraper
 
     # -- queries ---------------------------------------------------------
 
@@ -136,6 +142,16 @@ class HealthDetector:
             self._miss(lease)
         else:
             self._renew(lease)
+            if self.scraper is not None and target in getattr(
+                self.scraper, "codeflows", {}
+            ):
+                # Piggyback: the lease just proved the path; scrape
+                # the telemetry segment on the same round.  A torn
+                # scrape is counted and skipped -- never a lease miss.
+                try:
+                    yield from self.scraper.scrape(target)
+                except ReproError:
+                    pass
         finally:
             codeflow.sync.retry = saved_retry
         return lease.health

@@ -48,6 +48,10 @@ REC_INTEND = "INTEND"
 REC_PHASE = "PHASE"
 REC_COMMIT = "COMMIT"
 REC_ABORT = "ABORT"
+#: Crash flight-recorder snapshot (see :mod:`repro.obs.flight`): not
+#: part of any transaction, ignored by intent replay, rendered by
+#: ``python -m repro.cli blackbox``.
+REC_FLIGHT = "FLIGHT"
 
 _TERMINAL = (REC_COMMIT, REC_ABORT)
 
@@ -191,6 +195,19 @@ class IntentJournal:
         detail = dict(detail)
         detail["reason"] = reason
         self._append(REC_ABORT, txn, intend.op, intend.epoch, detail)
+
+    def record_flight(self, epoch: int, detail: dict) -> JournalRecord:
+        """Append a crash flight-recorder snapshot.
+
+        The detail dict must keep its payload under nested keys (the
+        flight recorder does) so ``known_targets``/``committed_intent``
+        replay never mistakes it for lifecycle intent.
+        """
+        return self._append(REC_FLIGHT, "", "flight", epoch, dict(detail))
+
+    def flight_records(self) -> list[JournalRecord]:
+        """Every crash snapshot, oldest first."""
+        return [r for r in self.records if r.rec == REC_FLIGHT]
 
     def _require_open(self, txn: str) -> JournalRecord:
         record = self._open.get(txn)

@@ -35,6 +35,7 @@ from repro.hb import events as hb
 from repro.obs import telemetry_of
 from repro.rdma.cq import Completion, WcStatus
 from repro.rdma.qp import QueuePair, WorkRequest, WrOpcode
+from repro.rdma.rnic import RNIC_MTU_BYTES
 from repro.sandbox.sandbox import Sandbox
 from repro.sim.core import Simulator
 
@@ -75,9 +76,25 @@ class RemoteSync:
         #: can tell a fenced-out writer's bytes from its successor's.
         self.hb_epoch: Optional[int] = None
         obs = telemetry_of(sim)
+        self._obs = obs
         #: Pipelined-path instrumentation (resolved once; hot path).
         self._m_chain_wrs = obs.histogram("rdx.deploy.wrs_per_doorbell")
         self._m_inflight = obs.histogram("rdx.deploy.inflight_depth")
+        #: Trace context: while a deploy span is parked here (by
+        #: :meth:`repro.core.codeflow.CodeFlow.deploy_prog`), every
+        #: chain/land/CAS/flush below emits a causal trace event under
+        #: that span's trace id.
+        self.trace_span = None
+
+    def _trace_event(self, category: str, **data) -> None:
+        span = self.trace_span
+        if span is None or not params.RDX_OBS:
+            return
+        self._obs.recorder.record(
+            self.sim.now, category,
+            trace_id=span.trace_id, span_id=span.span_id,
+            target=self.sandbox.name, **data,
+        )
 
     # -- raw one-sided ops --------------------------------------------------
 
@@ -171,6 +188,10 @@ class RemoteSync:
             "WRITE",
             inject=inject,
         )
+        self._trace_event(
+            "rdx.trace.write", addr=addr, length=len(payload),
+            chunks=max(1, -(-len(payload) // RNIC_MTU_BYTES)),
+        )
         return completion
 
     def _attempt_batch(self, wrs_factory, what: str) -> Generator:
@@ -244,6 +265,10 @@ class RemoteSync:
             completion = yield from self._op_batch(
                 wrs_factory, "WRITE_BATCH", inject=inject
             )
+            self._trace_event(
+                "rdx.trace.chain", wrs=len(window),
+                bytes=sum(len(payload) for _, payload in window),
+            )
             inject = None
         return completion
 
@@ -275,6 +300,7 @@ class RemoteSync:
             "CAS",
             inject=inject,
         )
+        self._trace_event("rdx.trace.cas", addr=addr)
         return completion.result
 
     def fetch_add(self, addr: int, delta: int) -> Generator:
@@ -368,6 +394,7 @@ class RemoteSync:
         yield self.sim.timeout(params.RDX_CC_EVENT_US)
         self.sandbox.host.cache.flush(mem_addr, length)
         self.cc_count += 1
+        self._trace_event("rdx.trace.flush", addr=mem_addr, length=length)
         if params.RDX_HB_CHECK:
             hb.emit(
                 self.sim, "hb.flush",

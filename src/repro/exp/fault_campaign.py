@@ -70,6 +70,10 @@ class FaultCampaignResult:
     committed: int = 0
     retries_total: int = 0
     faults_injected: int = 0
+    #: One-sided telemetry scrapes performed (when ``scrape=True``).
+    scrapes: int = 0
+    scrape_retries: int = 0
+    scrape_torn: int = 0
 
 
 def _counter_total(obs, name: str) -> float:
@@ -88,8 +92,15 @@ def run_fault_campaign(
     allow_partial: bool = False,
     program_insns: int = 400,
     testbed=None,
+    scrape: bool = False,
 ) -> FaultCampaignResult:
-    """Run ``rounds`` faulted broadcasts on an ``n_hosts`` testbed."""
+    """Run ``rounds`` faulted broadcasts on an ``n_hosts`` testbed.
+
+    ``scrape=True`` attaches a :class:`~repro.obs.scrape.TelemetryScraper`
+    behind a lease detector and runs a one-sided metric scrape of every
+    target after each healed round -- the agentless monitoring loop
+    exercised under the same fault schedule as the deploys.
+    """
     rng = random.Random(seed)
     bed = testbed or make_testbed(n_hosts=n_hosts, cores_per_host=8, seed=seed)
     group = CodeFlowGroup(bed.codeflows)
@@ -97,6 +108,13 @@ def run_fault_campaign(
         n_hosts=n_hosts, rounds_run=rounds, seed=seed,
         allow_partial=allow_partial,
     )
+    health = None
+    if scrape:
+        from repro.core.health import HealthDetector
+        from repro.obs.scrape import TelemetryScraper
+
+        scraper = TelemetryScraper(bed.codeflows)
+        health = HealthDetector(bed.codeflows, scraper=scraper)
 
     def programs(version: int):
         # Same name every round: each commit chains onto the hook's
@@ -155,6 +173,10 @@ def run_fault_campaign(
         injector.recover_target()
         injector.heal_partition()
         injector.delay_target(0)
+        if health is not None:
+            # Agentless monitoring round: lease probe + piggybacked
+            # one-sided scrape of every target's telemetry segment.
+            bed.sim.run_process(health.probe_all())
         entry.retries = int(
             _counter_total(bed.obs, "rdx.retry.attempts") - retries_before
         )
@@ -169,4 +191,10 @@ def run_fault_campaign(
     result.faults_injected = int(
         _counter_total(bed.obs, "rdx.faults.injected")
     )
+    if scrape:
+        result.scrapes = int(_counter_total(bed.obs, "rdx.scrape.count"))
+        result.scrape_retries = int(
+            _counter_total(bed.obs, "rdx.scrape.retries")
+        )
+        result.scrape_torn = int(_counter_total(bed.obs, "rdx.scrape.torn"))
     return result

@@ -25,11 +25,16 @@ from typing import TextIO, Union
 from repro.obs.metrics import Histogram, MetricsRegistry
 
 _PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+# The label block may contain "}" inside quoted values, so the line
+# regex matches quoted strings (with escapes) as units rather than
+# scanning for the first closing brace.
 _PROM_LINE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[^\s]+)$"
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?\s+(?P<value>[^\s]+)$'
 )
-_PROM_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+_PROM_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
 
 #: Quantiles rendered for each histogram-as-summary.
 SUMMARY_QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
@@ -90,8 +95,42 @@ def _restore_histogram(hist: Histogram, row: dict) -> None:
 # ---------------------------------------------------------------------------
 
 def prom_name(name: str) -> str:
-    """``rdx.deploy.latency_us`` -> ``rdx_deploy_latency_us``."""
-    return _PROM_NAME_RE.sub("_", name)
+    """``rdx.deploy.latency_us`` -> ``rdx_deploy_latency_us``.
+
+    Enforces the full metric-name charset: every rune outside
+    ``[a-zA-Z0-9_:]`` becomes ``_`` and a leading digit is prefixed
+    (``3xx.count`` -> ``_3xx_count``), so arbitrary internal names can
+    never emit an unparseable exposition line.
+    """
+    name = _PROM_NAME_RE.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    r"""Escape ``\``, ``"`` and newlines per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, char + nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
 
 
 def _prom_labels(labels: dict[str, str], extra: dict[str, str] = {}) -> str:
@@ -99,7 +138,8 @@ def _prom_labels(labels: dict[str, str], extra: dict[str, str] = {}) -> str:
     if not merged:
         return ""
     inner = ",".join(
-        f'{prom_name(k)}="{v}"' for k, v in sorted(merged.items())
+        f'{prom_name(k)}="{escape_label_value(v)}"'
+        for k, v in sorted(merged.items())
     )
     return "{" + inner + "}"
 
@@ -159,7 +199,7 @@ def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
             raise ValueError(f"prometheus line {lineno}: cannot parse {line!r}")
         labels = tuple(
             sorted(
-                (m.group("key"), m.group("value"))
+                (m.group("key"), _unescape_label_value(m.group("value")))
                 for m in _PROM_LABEL_RE.finditer(match.group("labels") or "")
             )
         )

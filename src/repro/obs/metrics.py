@@ -212,6 +212,27 @@ class MetricsRegistry:
     def clear(self) -> None:
         self._metrics.clear()
 
+    def drop(self, name: Optional[str] = None, **labels: object) -> int:
+        """Remove every series matching ``name`` and/or a label subset.
+
+        A series matches when its name equals ``name`` (if given) and
+        its labels contain *all* of ``labels``.  Returns the number of
+        series removed.  This is how the scraper retires a sandbox
+        incarnation: on an epoch bump it drops the target's old-epoch
+        series so pre-crash counters can't leak into post-recovery
+        snapshots.
+        """
+        want = {(str(k), str(v)) for k, v in labels.items()}
+        doomed = [
+            key
+            for key, metric in self._metrics.items()
+            if (name is None or key[0] == name)
+            and want <= set(metric.labels)
+        ]
+        for key in doomed:
+            del self._metrics[key]
+        return len(doomed)
+
     def snapshot(self) -> list[dict]:
         """Plain-data dump of every series (exporter substrate).
 

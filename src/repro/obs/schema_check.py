@@ -1,0 +1,137 @@
+"""Exporter schema checker: validate telemetry snapshots from disk.
+
+CI's telemetry smoke job scrapes a fault campaign to ``snap.prom`` /
+``snap.jsonl`` and runs this module over both::
+
+    python -m repro.obs.schema_check --prom snap.prom --jsonl snap.jsonl
+
+Checks, per format:
+
+* **Prometheus text** -- every non-comment line must parse under the
+  exposition grammar (:func:`repro.obs.exporters.parse_prometheus`),
+  every metric name must already be in the legal charset
+  (``[a-zA-Z_:][a-zA-Z0-9_:]*`` -- i.e. :func:`prom_name` is a no-op
+  on it), label values must survive an escape round-trip, and values
+  must be finite or NaN.
+* **JSON-lines** -- every line is an object carrying the keys its
+  ``type`` requires (counter/gauge: ``value``; histogram: ``count``,
+  ``sum``, ``min``, ``max`` and the quantile keys), with string-keyed
+  string-valued labels.
+
+Exit status 1 on any violation, with one diagnostic per offending
+line -- the job fails loudly instead of shipping a snapshot no scraper
+could ingest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+
+from repro.obs.exporters import parse_prometheus, prom_name
+
+_NAME_OK_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Keys every JSONL row must carry, plus per-type requirements.
+_ROW_COMMON = ("name", "type", "labels")
+_ROW_BY_TYPE = {
+    "counter": ("value",),
+    "gauge": ("value",),
+    "histogram": ("count", "sum", "min", "max", "p50", "p90", "p99"),
+}
+
+
+def check_prometheus(text: str) -> list[str]:
+    """Return a list of violations ("" text is vacuously clean)."""
+    problems: list[str] = []
+    try:
+        values = parse_prometheus(text)
+    except ValueError as err:
+        return [f"prom: {err}"]
+    for (name, labels), value in values.items():
+        if not _NAME_OK_RE.match(name):
+            problems.append(f"prom: illegal metric name {name!r}")
+        elif prom_name(name) != name:
+            problems.append(f"prom: name {name!r} not in exporter charset")
+        for key, _ in labels:
+            if not _NAME_OK_RE.match(key) or key.startswith("__"):
+                problems.append(
+                    f"prom: {name}: illegal label name {key!r}"
+                )
+        if math.isinf(value):
+            problems.append(f"prom: {name}: non-finite value {value!r}")
+    return problems
+
+
+def check_jsonl(text: str) -> list[str]:
+    problems: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as err:
+            problems.append(f"jsonl line {lineno}: unparseable ({err})")
+            continue
+        if not isinstance(row, dict):
+            problems.append(f"jsonl line {lineno}: not an object")
+            continue
+        kind = row.get("type")
+        required = _ROW_BY_TYPE.get(kind)
+        if required is None:
+            problems.append(f"jsonl line {lineno}: unknown type {kind!r}")
+            continue
+        for key in _ROW_COMMON + required:
+            if key not in row:
+                problems.append(
+                    f"jsonl line {lineno}: {kind} row missing {key!r}"
+                )
+        labels = row.get("labels", {})
+        if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in labels.items()
+        ):
+            problems.append(
+                f"jsonl line {lineno}: labels must map str -> str"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.schema_check",
+        description="Validate exported telemetry snapshots.",
+    )
+    parser.add_argument(
+        "--prom", action="append", default=[], metavar="FILE",
+        help="Prometheus text snapshot to check (repeatable)",
+    )
+    parser.add_argument(
+        "--jsonl", action="append", default=[], metavar="FILE",
+        help="JSON-lines snapshot to check (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.prom and not args.jsonl:
+        parser.error("nothing to check: pass --prom and/or --jsonl")
+
+    status = 0
+    for path, checker in [(p, check_prometheus) for p in args.prom] + [
+        (p, check_jsonl) for p in args.jsonl
+    ]:
+        with open(path) as fh:
+            problems = checker(fh.read())
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}")
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.trace import TraceRecorder
 
 _span_ids = itertools.count(1)
+_trace_ids = itertools.count(1)
+
+#: Span names that root a causal deploy trace.
+TRACE_ROOTS = ("rdx.inject", "rdx.broadcast")
 
 
 @dataclass
@@ -37,6 +41,11 @@ class Span:
     span_id: int
     start_us: float
     parent_id: Optional[int] = None
+    #: The causal trace this span belongs to: minted when a root span
+    #: opens, inherited by every descendant, and carried through WR
+    #: chains / CAS / flush trace events so one deploy reconstructs as
+    #: one end-to-end tree (see :func:`reconstruct_deploy_traces`).
+    trace_id: Optional[int] = None
     attrs: dict[str, Any] = field(default_factory=dict)
     end_us: Optional[float] = None
     status: str = "ok"
@@ -97,6 +106,11 @@ class SpanTracer:
         #: Spans evicted from ``finished_spans`` by the bound.
         self.evicted = 0
         self.started = 0
+        #: In-flight spans by span_id -- what the control plane "was
+        #: doing"; the flight recorder snapshots these on crash.
+        self.open_spans: dict[int, Span] = {}
+        #: Listeners called with each finished span (flight recorder).
+        self.on_finish: list = []
 
     def start(
         self, name: str, parent: Optional[Span] = None, **attrs: Any
@@ -106,16 +120,22 @@ class SpanTracer:
             span_id=next(_span_ids),
             start_us=self.sim.now,
             parent_id=parent.span_id if parent is not None else None,
+            trace_id=(
+                parent.trace_id if parent is not None
+                else next(_trace_ids)
+            ),
             attrs=dict(attrs),
             _tracer=self,
         )
         self.started += 1
+        self.open_spans[span.span_id] = span
         if self.recorder is not None:
             self.recorder.record(
                 self.sim.now,
                 f"{name}.start",
                 span_id=span.span_id,
                 parent_id=span.parent_id,
+                trace_id=span.trace_id,
                 **attrs,
             )
         return span
@@ -128,12 +148,14 @@ class SpanTracer:
             raise ValueError(f"span {span.name!r} already finished")
         span.attrs.update(attrs)
         span.end_us = self.sim.now
+        self.open_spans.pop(span.span_id, None)
         if self.recorder is not None:
             self.recorder.record(
                 self.sim.now,
                 f"{span.name}.end",
                 span_id=span.span_id,
                 parent_id=span.parent_id,
+                trace_id=span.trace_id,
                 duration_us=span.duration_us,
                 status=span.status,
                 **attrs,
@@ -142,6 +164,8 @@ class SpanTracer:
             self.registry.histogram(f"{span.name}.latency_us").observe(
                 span.duration_us
             )
+        for listener in self.on_finish:
+            listener(span)
         self.finished_spans.append(span)
         if len(self.finished_spans) > self.keep_finished:
             overflow = len(self.finished_spans) - self.keep_finished
@@ -168,3 +192,135 @@ class SpanTracer:
 
     def by_name(self, name: str) -> list[Span]:
         return [s for s in self.finished_spans if s.name == name]
+
+    def by_trace(self, trace_id: int) -> list[Span]:
+        return [s for s in self.finished_spans if s.trace_id == trace_id]
+
+
+# -- causal deploy-trace reconstruction ------------------------------------
+
+
+@dataclass
+class TargetTrace:
+    """One target's leg of a deploy trace.
+
+    ``install_visible_us`` is the *true* per-target install latency:
+    from the root op starting until this target's commit (CAS +
+    coherence flush) retired -- the point after which a data-path read
+    can observe the new pointer.  ``first_exec_us`` closes the loop
+    further: when the sandbox actually ran the installed image (joined
+    from the segment-mirrored ``rdx.trace.first_exec`` event on the
+    image's code address), relative to the same root start.
+    """
+
+    target: str
+    span: Span
+    install_visible_us: float
+    first_exec_us: Optional[float] = None
+
+
+@dataclass
+class DeployTrace:
+    """One reconstructed end-to-end deploy: a root span + target legs."""
+
+    trace_id: int
+    root: Span
+    tenant: str = ""
+    targets: list[TargetTrace] = field(default_factory=list)
+    bubble_window_us: Optional[float] = None
+    #: Low-level causal events (WR chains, chunk lands, CAS, flush)
+    #: recorded under this trace id, oldest first.
+    events: list = field(default_factory=list)
+
+    @property
+    def total_us(self) -> float:
+        return self.root.duration_us
+
+    def target_named(self, target: str) -> Optional[TargetTrace]:
+        for leg in self.targets:
+            if leg.target == target:
+                return leg
+        return None
+
+
+def _first_exec_index(recorder) -> dict[tuple[str, int], float]:
+    """(target, code_addr) -> earliest first-exec time, from the recorder."""
+    index: dict[tuple[str, int], float] = {}
+    if recorder is None:
+        return index
+    for event in recorder.filter("rdx.trace.first_exec"):
+        key = (event.data.get("target"), event.data.get("pointer"))
+        if key not in index:
+            index[key] = event.time_us
+    return index
+
+
+def reconstruct_deploy_traces(
+    tracer: SpanTracer, recorder: Optional["TraceRecorder"] = None
+) -> list[DeployTrace]:
+    """Rebuild one :class:`DeployTrace` per deploy/broadcast root span.
+
+    Works purely from finished spans plus (optionally) the trace
+    recorder: the recorder contributes the low-level causal events the
+    sync layer tagged with the trace id and the sandbox-side
+    first-exec edges.
+    """
+    recorder = recorder if recorder is not None else tracer.recorder
+    first_execs = _first_exec_index(recorder)
+    events_by_trace: dict[int, list] = {}
+    if recorder is not None:
+        for event in recorder.filter("rdx.trace."):
+            trace_id = event.data.get("trace_id")
+            if trace_id is not None:
+                events_by_trace.setdefault(trace_id, []).append(event)
+
+    traces: list[DeployTrace] = []
+    for root in tracer.finished_spans:
+        if root.name not in TRACE_ROOTS or root.parent_id is not None:
+            continue
+        assert root.trace_id is not None
+        trace = DeployTrace(
+            trace_id=root.trace_id,
+            root=root,
+            tenant=str(root.attrs.get("tenant", "")),
+            bubble_window_us=root.attrs.get("bubble_window_us"),
+            events=events_by_trace.get(root.trace_id, []),
+        )
+        for span in tracer.by_trace(root.trace_id):
+            if span.name == "rdx.broadcast.target" or (
+                span.name == "rdx.deploy" and root.name == "rdx.inject"
+            ):
+                target = str(span.attrs.get("target", ""))
+                leg = TargetTrace(
+                    target=target,
+                    span=span,
+                    install_visible_us=span.end_us - root.start_us,
+                )
+                code_addr = _leg_code_addr(tracer, span)
+                if code_addr is not None:
+                    when = first_execs.get((target, code_addr))
+                    if when is not None and when >= root.start_us:
+                        leg.first_exec_us = when - root.start_us
+                trace.targets.append(leg)
+        traces.append(trace)
+    return traces
+
+
+def _leg_code_addr(tracer: SpanTracer, leg: Span) -> Optional[int]:
+    """The deployed image's code address for a target leg span.
+
+    ``rdx.deploy`` spans carry it directly; ``rdx.broadcast.target``
+    legs find it on their descendant deploy span.
+    """
+    addr = leg.attrs.get("code_addr")
+    if addr is not None:
+        return addr
+    frontier = [leg]
+    while frontier:
+        node = frontier.pop()
+        for child in tracer.children_of(node):
+            addr = child.attrs.get("code_addr")
+            if addr is not None:
+                return addr
+            frontier.append(child)
+    return None

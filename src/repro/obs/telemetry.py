@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, TYPE_CHECKING
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import Span, SpanTracer
 from repro.sim.trace import TraceRecorder
@@ -39,8 +40,42 @@ class Telemetry:
         self.registry = MetricsRegistry()
         #: Span events land here; bounded so background workloads
         #: cannot grow it without limit (drop-oldest, counted).
-        self.recorder = recorder or TraceRecorder(max_events=100_000)
+        # Explicit None check: an empty TraceRecorder is falsy (len 0).
+        if recorder is None:
+            recorder = TraceRecorder(max_events=100_000)
+        self.recorder = recorder
         self.tracer = SpanTracer(sim, self.recorder, self.registry)
+        #: Crash flight recorder: a bounded ring of recent spans +
+        #: metric deltas the control plane journals on crash.
+        self.flight = FlightRecorder(sim)
+        self.tracer.on_finish.append(self.flight.record_span)
+        # Ring-buffer drops become a first-class counter the moment
+        # they happen, and latch the hub as truncated forever after
+        # (never-report-clean, mirroring the HB checker).
+        self._ever_dropped = False
+        self.recorder.on_drop = self._note_drop
+
+    def _note_drop(self, count: int) -> None:
+        self._ever_dropped = True
+        self.registry.counter("rdx.obs.trace_dropped").inc(count)
+
+    @property
+    def truncated(self) -> bool:
+        """True once any bounded ring has dropped history."""
+        return (
+            self._ever_dropped
+            or self.recorder.dropped > 0
+            or self.flight.dropped > 0
+        )
+
+    def sync_health_metrics(self) -> None:
+        """Refresh the hub's self-describing gauges before an export."""
+        self.registry.gauge("rdx.obs.truncated").set(
+            1.0 if self.truncated else 0.0
+        )
+        self.registry.gauge("rdx.obs.spans_open").set(
+            len(self.tracer.open_spans)
+        )
 
     # -- metric passthroughs ----------------------------------------------
 
@@ -63,6 +98,27 @@ class Telemetry:
 
     def snapshot(self) -> list[dict]:
         return self.registry.snapshot()
+
+
+def export_prometheus(hub: Telemetry) -> str:
+    """Prometheus text for the hub, with health gauges refreshed.
+
+    A snapshot taken after any ring drop carries
+    ``rdx_obs_truncated 1`` -- there is no way back to a clean export
+    on this hub.
+    """
+    from repro.obs.exporters import to_prometheus
+
+    hub.sync_health_metrics()
+    return to_prometheus(hub.registry)
+
+
+def export_jsonl(hub: Telemetry) -> str:
+    """JSON-lines for the hub, with health gauges refreshed."""
+    from repro.obs.exporters import to_jsonl
+
+    hub.sync_health_metrics()
+    return to_jsonl(hub.registry)
 
 
 def telemetry_of(sim: "Simulator") -> Telemetry:

@@ -114,6 +114,26 @@ RDX_HB_CHECK = os.environ.get("RDX_HB_CHECK", "0") not in (
     "0", "false", "no", "",
 )
 
+#: Master switch for the agentless telemetry plane (:mod:`repro.obs`).
+#: When on (the default), sandboxes keep a seqlock-guarded telemetry
+#: segment up to date from the data path, deploy ops record causal
+#: trace events, and the control plane feeds its flight recorder.  A
+#: mutable module global like :data:`RDX_PIPELINED_DEPLOY` so the
+#: overhead bench can flip both modes inside one process; the
+#: environment sets only the default (``RDX_OBS=0`` to disable).
+RDX_OBS = os.environ.get("RDX_OBS", "1") not in (
+    "0", "false", "no",
+)
+
+#: Bounded seqlock retries before a scrape is declared torn (and the
+#: snapshot discarded -- torn snapshots are never exported).
+RDX_SCRAPE_MAX_RETRIES = 8
+
+#: Backoff between seqlock retry attempts on a torn scrape, us.  Long
+#: enough for a mid-flight local writer burst to drain, short enough
+#: that retries stay invisible next to the probe interval.
+RDX_SCRAPE_RETRY_US = 1.0
+
 #: Control-plane dispatch overhead on the *pipelined* path, us.  The
 #: serial path pays :data:`RDX_DISPATCH_US` preparing and polling one
 #: WQE per op; chaining prepares the whole WR list once and polls a

@@ -11,6 +11,7 @@ Memory layout (all carved from the host allocator)::
     GOT             4 KiB   qword per symbol
     hook table      512 B   qword per hook slot
     metadata array  16 KiB  256 B per descriptor slot
+    telemetry seg   256 B   seqlock-guarded counters (obs/segment.py)
     code region     8 MiB   JIT images (RegionAllocator)
     scratchpad      16 MiB  Meta-XState index + XState allocations
 """
@@ -31,6 +32,8 @@ from repro.ebpf.program import BpfProgram
 from repro.mem.layout import pack_qword, unpack_qword
 from repro.mem.memory import RegionAllocator
 from repro.net.topology import Host
+from repro.obs.segment import LAYOUT as TELEMETRY_LAYOUT
+from repro.obs.segment import TelemetrySegment
 from repro.rdma.mr import AccessFlags, MemoryRegionMr, ProtectionDomain
 from repro.sandbox.got import GlobalContext, SymbolKind
 from repro.sandbox.hooks import HookTable
@@ -82,6 +85,10 @@ class BootManifest:
     meta_xstate_slots: int
     rkey: int = 0
     helper_addresses: dict[str, int] = field(default_factory=dict)
+    #: The seqlock-guarded telemetry segment a scraper READs
+    #: one-sidedly (see :mod:`repro.obs.segment`).
+    telemetry_addr: int = 0
+    telemetry_bytes: int = 0
 
 
 class Sandbox:
@@ -120,6 +127,12 @@ class Sandbox:
 
         metadata_addr = allocate(64 * 256, align=64)
         self.metadata = MetadataArray(host.memory, metadata_addr, slots=64)
+
+        # Telemetry segment: allocated between metadata and code so it
+        # lands inside the single MR span ctx_register registers.
+        self.telemetry = TelemetrySegment(
+            host.cache, allocate(TELEMETRY_LAYOUT.size_bytes, align=64)
+        )
 
         self.code_base = allocate(code_bytes, align=4096)
         self.code_bytes = code_bytes
@@ -212,6 +225,8 @@ class Sandbox:
                 name: self.got.address_of(name)
                 for name in self.got.layout()
             },
+            telemetry_addr=self.telemetry.base_addr,
+            telemetry_bytes=self.telemetry.size_bytes,
         )
         return self.ctx_manifest
 
@@ -251,6 +266,12 @@ class Sandbox:
         self.crashed = False
         self.crash_reason = ""
         self.reboots += 1
+        # New incarnation: counters restart from zero under a bumped
+        # epoch word, so a scraper can never blend pre-crash totals
+        # into post-recovery series (the epoch lives inside the
+        # seqlock bracket -- see obs/segment.py).
+        self.telemetry.reset(epoch=self.reboots + 1)
+        self.telemetry.set_gauge("reboots", float(self.reboots))
         self._ctx_init(self._hooks)
 
     def ctx_teardown(self, prog_id: int) -> bool:
@@ -423,6 +444,8 @@ class Sandbox:
         """
         pointer = self.hook_table.read_pointer(hook_name)
         if pointer == 0:
+            if params.RDX_OBS:
+                self.telemetry.inc("exec.empty")
             return None, 0.1  # empty-hook fast path
         if params.RDX_HB_CHECK:
             self._emit_hb_exec(hook_name, pointer)
@@ -433,9 +456,13 @@ class Sandbox:
         except SandboxCrash as crash:
             self.crashed = True
             self.crash_reason = str(crash)
+            if params.RDX_OBS:
+                self.telemetry.inc("exec.crashes")
             raise
         self.events_executed += 1
         cost_us = result.insns_executed / params.CPU_INSN_PER_US + 0.2
+        if params.RDX_OBS:
+            self._note_exec(hook_name, pointer, result.insns_executed, cost_us)
         return result, cost_us
 
     def run_wasm_hook(
@@ -452,6 +479,8 @@ class Sandbox:
 
         pointer = self.hook_table.read_pointer(hook_name)
         if pointer == 0:
+            if params.RDX_OBS:
+                self.telemetry.inc("exec.empty")
             return None, 0.1
         if params.RDX_HB_CHECK:
             self._emit_hb_exec(hook_name, pointer)
@@ -474,10 +503,39 @@ class Sandbox:
         except SandboxCrash as crash:
             self.crashed = True
             self.crash_reason = str(crash)
+            if params.RDX_OBS:
+                self.telemetry.inc("exec.crashes")
             raise
         self.events_executed += 1
         cost_us = result.insns_executed / params.CPU_INSN_PER_US + 0.2
+        if params.RDX_OBS:
+            self._note_exec(hook_name, pointer, result.insns_executed, cost_us)
         return result, cost_us
+
+    def _note_exec(
+        self, hook_name: str, pointer: int, insns: int, cost_us: float
+    ) -> None:
+        """Publish one execution into the telemetry segment.
+
+        The first execution of a freshly installed image is the
+        *install-observed* edge: it closes the causal deploy trace, so
+        it is also mirrored into the sim-wide trace recorder where the
+        span reconstruction (obs/spans.py) can join it on ``pointer``.
+        """
+        from repro.obs import telemetry_of
+
+        now = self.host.sim.now
+        first_exec = self.telemetry.note_exec(
+            hook_name, pointer, insns, cost_us, now
+        )
+        if first_exec:
+            telemetry_of(self.host.sim).recorder.record(
+                now,
+                "rdx.trace.first_exec",
+                target=self.name,
+                hook=hook_name,
+                pointer=pointer,
+            )
 
     def _emit_hb_exec(self, hook_name: str, pointer: int) -> None:
         """Record the hook execution for the happens-before checker.
@@ -543,7 +601,10 @@ class Sandbox:
 
     def bubble_active(self) -> bool:
         """Data-path check of the BBU buffering flag (through cache)."""
-        return unpack_qword(self.host.cache.cpu_read(self.bubble_addr, 8)) != 0
+        active = unpack_qword(self.host.cache.cpu_read(self.bubble_addr, 8)) != 0
+        if active and params.RDX_OBS:
+            self.telemetry.inc("bubble.stalls")
+        return active
 
     def epoch(self) -> int:
         return unpack_qword(self.host.cache.cpu_read(self.epoch_addr, 8))

@@ -44,6 +44,10 @@ class TraceRecorder:
         self.events: deque[TraceEvent] = deque(maxlen=max_events)
         #: Events evicted by the ``max_events`` bound (drop-oldest).
         self.dropped = 0
+        #: Optional callback invoked with the drop count each time an
+        #: event is evicted -- the obs layer hooks this to surface ring
+        #: truncation as a first-class counter.
+        self.on_drop: Optional[Callable[[int], None]] = None
 
     def record(self, time_us: float, category: str, **data: Any) -> None:
         """Append one event (no-op when tracing is disabled)."""
@@ -53,9 +57,18 @@ class TraceRecorder:
                 and len(self.events) == self.max_events
             ):
                 self.dropped += 1  # deque(maxlen) evicts the oldest
+                if self.on_drop is not None:
+                    self.on_drop(1)
             self.events.append(TraceEvent(time_us, category, data))
 
     def clear(self) -> None:
+        """Forget recorded events and reset the drop counter.
+
+        The obs layer latches drops separately (via :attr:`on_drop`)
+        before they can be cleared: an exporter snapshot taken after
+        any drop stays marked ``truncated`` for the life of the
+        telemetry hub -- the HB checker's never-report-clean rule.
+        """
         self.events.clear()
         self.dropped = 0
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.obs.exporters import (
+    escape_label_value,
     from_jsonl,
     parse_prometheus,
     prom_name,
@@ -10,6 +11,7 @@ from repro.obs.exporters import (
     to_prometheus,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema_check import check_jsonl, check_prometheus
 
 
 @pytest.fixture
@@ -107,3 +109,61 @@ class TestPrometheus:
     def test_empty_registry(self):
         assert to_prometheus(MetricsRegistry()) == ""
         assert parse_prometheus("") == {}
+
+
+class TestLabelEscaping:
+    """Satellite: hostile label values can't corrupt the exposition."""
+
+    HOSTILE = [
+        'quote " in the middle',
+        "back\\slash",
+        "two\nlines",
+        '\\" all \n three \\',
+    ]
+
+    def test_escape_covers_the_spec_characters(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    @pytest.mark.parametrize("value", HOSTILE)
+    def test_hostile_values_round_trip(self, value):
+        reg = MetricsRegistry()
+        reg.counter("rdx.deploy.count", tenant=value).inc(5)
+        parsed = parse_prometheus(to_prometheus(reg))
+        assert parsed[("rdx_deploy_count", (("tenant", value),))] == 5
+
+    def test_hostile_values_keep_one_line_per_sample(self):
+        reg = MetricsRegistry()
+        for index, value in enumerate(self.HOSTILE):
+            reg.gauge("rdx.live", tenant=value).set(index)
+        text = to_prometheus(reg)
+        samples = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(samples) == len(self.HOSTILE)
+
+    def test_name_charset_enforced(self):
+        assert prom_name("3xx.count") == "_3xx_count"
+        assert prom_name('na"me\n') == "na_me_"
+        assert prom_name("") == "_"
+
+    def test_schema_check_accepts_escaped_export(self):
+        reg = MetricsRegistry()
+        reg.counter("rdx.deploy.count", tenant='evil"\n\\').inc()
+        hist = reg.histogram("rdx.deploy.latency_us", tenant="t\n1")
+        hist.observe(4.0)
+        assert check_prometheus(to_prometheus(reg)) == []
+        assert check_jsonl(to_jsonl(reg)) == []
+
+    def test_schema_check_flags_violations(self):
+        assert check_prometheus('bad name{x="1"} 2\n')
+        assert check_prometheus("rdx_inf_count +Inf\n") == [
+            "prom: rdx_inf_count: non-finite value inf"
+        ]
+        assert check_jsonl('{"type": "meter", "name": "x"}')
+        assert check_jsonl(
+            '{"type": "counter", "name": "x", "labels": {"a": 1}, "value": 2}'
+        )
