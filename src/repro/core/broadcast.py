@@ -555,6 +555,16 @@ class CodeFlowGroup:
                 record_intent=False,  # the broadcast txn owns the WAL entry
                 fenced=fenced,  # _guarded_bubble fenced this leg already
             )
+            # Delta eligibility is decided per target: each leg holds
+            # its own baseline (or none -- fresh targets, post-reboot
+            # targets, and diverged layouts all fall back to full), so
+            # one broadcast routinely mixes both modes.
+            obs.counter(
+                "rdx.broadcast.legs",
+                mode=report.mode,
+                target=codeflow.sandbox.name,
+            ).inc()
+            child.attrs["mode"] = report.mode
             if verify:
                 try:
                     yield from self._verify_image(codeflow, program)

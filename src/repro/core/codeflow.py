@@ -22,6 +22,7 @@ from repro.ebpf.maps import BpfMap
 from repro.ebpf.program import BpfProgram
 from repro.mem.memory import RegionAllocator
 from repro.obs import telemetry_of
+from repro.rdma.rnic import RNIC_MTU_BYTES
 from repro.obs.spans import Span
 from repro.sandbox.metadata import MetadataBlock, SLOT_DETACHED, SLOT_LIVE
 from repro.sandbox.sandbox import Sandbox
@@ -56,6 +57,15 @@ class DeployReport:
     #: Where the image landed -- the join key between this deploy's
     #: trace and the sandbox-side first-exec edge (obs/spans.py).
     code_addr: int = 0
+    #: "full" (entire image staged into a fresh extent) or "delta"
+    #: (only the dirty chunks written into the baseline extent).
+    mode: str = "full"
+    #: Dirty MTU chunks shipped (delta mode; 0 = metadata-only bump).
+    delta_chunks: int = 0
+    #: Bytes that crossed the wire for image + metadata descriptor.
+    bytes_moved: int = 0
+    #: Version of the baseline image the delta was diffed against.
+    delta_base_version: int = 0
 
     def phases(self) -> dict[str, float]:
         return {
@@ -79,6 +89,56 @@ class DeployedProgram:
     version: int = 1
     #: Previous code addresses, newest last (rollback targets).
     history: list[int] = field(default_factory=list)
+    #: Exact bytes of the live image (None when unknown, e.g. after a
+    #: rollback flip) -- what the next deploy diffs against once this
+    #: extent becomes the baseline.
+    image: Optional[bytes] = None
+    #: (arch, GOT-layout fingerprint) the image was linked under: the
+    #: part of the link-cache key a delta deploy must match.
+    layout: Optional[tuple] = None
+    #: Superseded-but-resident extent kept alive as the delta diff
+    #: base (None when no baseline is registered).
+    baseline_addr: Optional[int] = None
+    #: Exact bytes resident at ``baseline_addr``.
+    baseline_image: Optional[bytes] = None
+    #: Version the baseline image shipped as (delta provenance).
+    baseline_version: int = 0
+
+
+@dataclass
+class _DeltaPlan:
+    """A certified delta: which dirty spans go into which extent."""
+
+    existing: DeployedProgram
+    target_addr: int
+    ranges: list[tuple[int, bytes]]
+    base_version: int
+
+
+def _delta_ranges(old: bytes, new: bytes) -> list[tuple[int, bytes]]:
+    """Dirty spans of ``new`` against ``old`` at MTU-chunk granularity.
+
+    One ``(offset, payload)`` entry per RNIC MTU chunk that differs,
+    with the payload trimmed to the chunk's dirty span and widened to
+    whole cache lines -- the coherence flush that follows operates on
+    lines, so sub-line trims save nothing.
+    """
+    line = params.CACHE_LINE_BYTES
+    ranges: list[tuple[int, bytes]] = []
+    for base in range(0, len(new), RNIC_MTU_BYTES):
+        old_chunk = old[base : base + RNIC_MTU_BYTES]
+        new_chunk = new[base : base + RNIC_MTU_BYTES]
+        if old_chunk == new_chunk:
+            continue
+        dirty = [
+            index
+            for index in range(len(new_chunk))
+            if new_chunk[index] != old_chunk[index]
+        ]
+        lo = dirty[0] // line * line
+        hi = min(len(new_chunk), (dirty[-1] // line + 1) * line)
+        ranges.append((base + lo, new_chunk[lo:hi]))
+    return ranges
 
 
 class CodeFlow:
@@ -124,6 +184,14 @@ class CodeFlow:
         #: control plane's linked-image cache -- the fast deploy path
         #: then skips the stub rendezvous (the layout is already known).
         self._last_link_cached = False
+        #: The cache key of the last :meth:`link_code` -- its
+        #: ``(arch, fingerprint)`` tail is what certifies a delta
+        #: deploy's layout assumption.  None when uncacheable.
+        self._last_link_key: Optional[tuple] = None
+        #: Extents retired by the previous generation, freed only once
+        #: the *next* commit CAS is visible (no in-flight exec can
+        #: still be decoding them by then).
+        self._retired: list[int] = []
         #: The deployment epoch this handle writes under (fencing token);
         #: set by :meth:`stamp_epoch` during rdx_create_codeflow.
         self.epoch = 0
@@ -221,6 +289,7 @@ class CodeFlow:
                 if params.RDX_PIPELINED_DEPLOY
                 else None
             )
+            self._last_link_key = key
             if key is not None:
                 cached = plane.linked_images.get(key)
                 if cached is not None:
@@ -310,7 +379,9 @@ class CodeFlow:
             program=program.name, target=self.sandbox.name, hook=hook_name,
         )
         body = (
-            self._deploy_body_fast
+            self._deploy_body_delta
+            if params.RDX_PIPELINED_DEPLOY and params.RDX_DELTA_DEPLOY
+            else self._deploy_body_fast
             if params.RDX_PIPELINED_DEPLOY
             else self._deploy_body
         )
@@ -421,6 +492,7 @@ class CodeFlow:
         self._bookkeep(
             program, hook_name, code_addr, len(linked.code), slot,
             block.version, existing, retain_history, report,
+            image=linked.code,
         )
         return report
 
@@ -529,8 +601,200 @@ class CodeFlow:
         self._bookkeep(
             program, hook_name, code_addr, len(linked.code), slot,
             block.version, existing, retain_history, report,
+            image=linked.code,
         )
         return report
+
+    def _delta_plan(
+        self, linked: JitBinary, hook_name: str
+    ) -> Optional[_DeltaPlan]:
+        """Decide whether this deploy can ship as a delta.
+
+        Eligibility is conservative: the hook must already be owned by
+        a record carrying a registered baseline whose layout
+        fingerprint matches the one :meth:`link_code` just produced,
+        the image size must be unchanged, and the diff must be under
+        break-even.  Anything else returns None (with the reason
+        counted in ``rdx.delta.fallback``) and the full pipelined body
+        runs instead -- correctness never depends on delta eligibility.
+        """
+
+        def fallback(reason: str) -> None:
+            self.obs.counter("rdx.delta.fallback", reason=reason).inc()
+            return None
+
+        owner_name = self._hook_owner.get(hook_name)
+        existing = self.deployed.get(owner_name) if owner_name else None
+        if existing is None:
+            return fallback("first-deploy")
+        if existing.baseline_addr is None or existing.baseline_image is None:
+            return fallback("no-baseline")
+        key = self._last_link_key
+        if key is None or existing.layout is None or existing.layout != key[1:]:
+            # The link cache could not certify the (arch, GOT
+            # fingerprint) layout is unchanged: resolved addresses may
+            # have moved, so a byte diff would be meaningless.
+            return fallback("layout-changed")
+        if len(linked.code) != len(existing.baseline_image):
+            return fallback("size-changed")
+        ranges = _delta_ranges(existing.baseline_image, linked.code)
+        if len(ranges) > params.RDX_DELTA_MAX_CHUNKS:
+            return fallback("past-break-even")
+        if sum(len(payload) for _, payload in ranges) >= len(linked.code):
+            return fallback("no-savings")
+        return _DeltaPlan(
+            existing=existing,
+            target_addr=existing.baseline_addr,
+            ranges=ranges,
+            base_version=existing.baseline_version,
+        )
+
+    def _deploy_body_delta(
+        self,
+        program: BpfProgram,
+        linked: JitBinary,
+        hook_name: str,
+        flush_hook: bool,
+        retain_history: bool,
+        report: DeployReport,
+        fenced: bool = False,
+    ) -> Generator:
+        """Delta deploy: ship only the chunks that differ from the baseline.
+
+        The target already holds a resident, non-live extent whose
+        exact bytes the control plane knows -- the *baseline*, the
+        image superseded one generation ago and kept alive by
+        :meth:`_bookkeep`.  When the link cache certifies the layout is
+        unchanged, the new image differs from that baseline only where
+        the program text changed, so the body diffs at MTU-chunk
+        granularity, trims each dirty chunk to its cache-line-aligned
+        dirty span, and sends just those spans plus the fresh metadata
+        descriptor as one WR chain *into the baseline extent*.  The
+        commit CAS then flips the hook from the live extent to the
+        rewritten baseline; the two extents ping-pong roles on every
+        subsequent delta.
+
+        Falls back to :meth:`_deploy_body_fast` (reason counted in
+        ``rdx.delta.fallback``) whenever the baseline is unavailable,
+        the layout fingerprint moved, or the diff is past break-even
+        (:data:`repro.params.RDX_DELTA_MAX_CHUNKS`).
+        """
+        plan = self._delta_plan(linked, hook_name)
+        if plan is None:
+            report = yield from self._deploy_body_fast(
+                program, linked, hook_name, flush_hook, retain_history,
+                report, fenced,
+            )
+            return report
+
+        if not fenced:
+            yield from self.check_fence()
+
+        mark = self.sim.now
+        yield from self.control_plane.host.cpu.run(params.RDX_DISPATCH_FAST_US)
+        if not self._last_link_cached:
+            yield self.sim.timeout(params.RDX_STUB_RENDEZVOUS_US)
+        report.dispatch_us = self.sim.now - mark
+
+        existing = plan.existing
+        target_addr = plan.target_addr
+        hook_addr = self._hook_addr(hook_name)
+        slot = self._pick_metadata_slot()
+        block = MetadataBlock(
+            state=SLOT_LIVE,
+            prog_id=program.prog_id,
+            insn_cnt=len(program.insns),
+            ref_count=1,
+            code_addr=target_addr,
+            code_len=len(linked.code),
+            hook_slot=self.manifest.hook_layout.get(hook_name, -1),
+            version=existing.version + 1,
+            tag=program.tag().encode()[:16],
+            name=program.name,
+        )
+
+        # The txn publishes the whole extent the flipped pointer makes
+        # reachable, not just the dirty spans: the checker holds the
+        # commit to the same standard as a full-image install.
+        txn = (
+            hb.txn_note(publishes=(target_addr, len(linked.code)))
+            if params.RDX_HB_CHECK
+            else None
+        )
+        body = {"txn": txn["txn"]} if txn else None
+        ops = [
+            (target_addr + offset, payload)
+            for offset, payload in plan.ranges
+        ]
+        ops.append((self.manifest.metadata_addr + slot * 256, block.encode()))
+        mark = self.sim.now
+        try:
+            yield from self.sync.write_batch(ops, note=body)
+        except BaseException:
+            self._unwind_failed_delta(existing, slot)
+            raise
+        report.write_us = self.sim.now - mark
+
+        mark = self.sim.now
+        prior = yield from self.sync.cas(
+            hook_addr, existing.code_addr, target_addr, note=txn
+        )
+        if prior != existing.code_addr:
+            self._unwind_failed_delta(existing, slot)
+            raise DeployError(
+                f"{program.name}: hook {hook_name!r} CAS expected "
+                f"{existing.code_addr:#x}, found {prior:#x} "
+                "(concurrent update?)"
+            )
+        self.sync.tx_count += 1
+        report.commit_us = self.sim.now - mark
+
+        if flush_hook:
+            mark = self.sim.now
+            # The reused extent was live (and executed) two generations
+            # ago, so the target CPU may still cache its old lines, and
+            # DMA writes leave those snapshots stale.  Flush the dirty
+            # spans *before* the hook line: the code must be coherent
+            # before the pointer that reaches it is.
+            for offset, payload in plan.ranges:
+                yield from self.sync.cc_event(
+                    target_addr + offset, len(payload)
+                )
+            yield from self.sync.cc_event(hook_addr, 8)
+            report.cc_us = self.sim.now - mark
+
+        report.mode = "delta"
+        report.delta_chunks = len(plan.ranges)
+        report.bytes_moved = (
+            sum(len(payload) for _, payload in plan.ranges) + 256
+        )
+        report.delta_base_version = plan.base_version
+        self._bookkeep(
+            program, hook_name, target_addr, len(linked.code), slot,
+            block.version, existing, retain_history, report,
+            image=linked.code,
+        )
+        return report
+
+    def _unwind_failed_delta(
+        self, existing: DeployedProgram, slot: int
+    ) -> None:
+        """Roll back a delta body that failed before its commit.
+
+        The baseline extent may now hold a half-rewritten image, so it
+        can never serve as a diff base (or rollback target) again:
+        drop the registration and retire the extent.  Nothing points
+        at it -- the hook never flipped -- so the deferred free is
+        purely conservative.
+        """
+        self._metadata_used.discard(slot)
+        addr = existing.baseline_addr
+        if addr is not None:
+            self._retired.append(addr)
+            existing.history = [a for a in existing.history if a != addr]
+        existing.baseline_addr = None
+        existing.baseline_image = None
+        existing.baseline_version = 0
 
     def _unwind_failed_deploy(self, code_addr: int, slot: int) -> None:
         """Release local resources a failed deploy body had claimed.
@@ -553,8 +817,14 @@ class CodeFlow:
         existing: Optional[DeployedProgram],
         retain_history: bool,
         report: DeployReport,
+        image: Optional[bytes] = None,
     ) -> None:
-        """Shared post-commit record keeping for both deploy bodies."""
+        """Shared post-commit record keeping for all deploy bodies."""
+        # This deploy's commit CAS (and hook flush) is now visible, so
+        # extents retired by the *previous* generation have outlived
+        # every exec that could still have been decoding them: the
+        # deferred frees drain here, never at retire time.
+        self._drain_retired()
         record = DeployedProgram(
             program=program,
             hook_name=hook_name,
@@ -562,21 +832,66 @@ class CodeFlow:
             code_len=code_len,
             metadata_slot=slot,
             version=version,
+            image=image,
+            layout=self._last_link_key[1:] if self._last_link_key else None,
         )
         if existing:
             # The superseded descriptor slot is reusable either way.
             self._metadata_used.discard(existing.metadata_slot)
-            if retain_history:
-                record.history = existing.history + [existing.code_addr]
+            if report.mode == "delta":
+                # Ping-pong: the new image went *into* the old baseline
+                # extent, and the superseded live extent becomes the
+                # next baseline.  The consumed baseline leaves the
+                # rollback history -- it holds live bytes now -- so
+                # delta chains cap rollback depth at one generation.
+                record.history = [
+                    addr for addr in existing.history if addr != code_addr
+                ]
+                if retain_history:
+                    record.history.append(existing.code_addr)
+                record.baseline_addr = existing.code_addr
+                record.baseline_image = existing.image
+                record.baseline_version = existing.version
             else:
-                record.history = list(existing.history)
-                self.code_allocator.free(existing.code_addr)
+                if retain_history:
+                    record.history = existing.history + [existing.code_addr]
+                else:
+                    record.history = list(existing.history)
+                if existing.image is not None:
+                    # The superseded extent stays resident as the delta
+                    # baseline: its exact bytes are known, so the next
+                    # deploy of this layout can ship only the changed
+                    # chunks.
+                    record.baseline_addr = existing.code_addr
+                    record.baseline_image = existing.image
+                    record.baseline_version = existing.version
+                elif not retain_history:
+                    # No known bytes and no history reference: the
+                    # extent is garbage, but in-flight execs may still
+                    # be reading it.  Defer the free until the next
+                    # commit CAS is visible -- freeing it here (the old
+                    # behaviour) destroyed the extent under the data
+                    # path.
+                    self._retired.append(existing.code_addr)
+            # The previous baseline is superseded unless something
+            # still references it (the new baseline, the live extent,
+            # or a rollback target).
+            old_baseline = existing.baseline_addr
+            if (
+                old_baseline is not None
+                and old_baseline != record.baseline_addr
+                and old_baseline != record.code_addr
+                and old_baseline not in record.history
+            ):
+                self._retired.append(old_baseline)
             if existing.program.name != program.name:
                 del self.deployed[existing.program.name]
         self.deployed[program.name] = record
         self._hook_owner[hook_name] = program.name
         report.total_us = self.sim.now - report.started_us
         report.code_addr = code_addr
+        if report.mode != "delta":
+            report.bytes_moved = code_len + 256
         self.reports.append(report)
         self.control_plane.trace.record(
             self.sim.now,
@@ -586,11 +901,29 @@ class CodeFlow:
             total_us=report.total_us,
         )
 
+    def _drain_retired(self) -> None:
+        """Free extents whose deferred-free window has closed."""
+        for addr in self._retired:
+            if self.code_allocator.size_of(addr) is not None:
+                self.code_allocator.free(addr)
+        self._retired.clear()
+
     def _observe_deploy(self, report: DeployReport, code_bytes: int) -> None:
         """Feed one successful deploy into the metrics registry."""
         self.obs.counter("rdx.deploy.count").inc()
-        # Image bytes plus the 256-byte metadata descriptor write.
-        self.obs.counter("rdx.deploy.bytes_written").inc(code_bytes + 256)
+        # What actually crossed the wire: the full image + 256-byte
+        # metadata descriptor, or just a delta's trimmed dirty spans.
+        self.obs.counter("rdx.deploy.bytes_written").inc(
+            report.bytes_moved or (code_bytes + 256)
+        )
+        if report.mode == "delta":
+            self.obs.counter("rdx.deploy.delta").inc()
+            self.obs.histogram("rdx.delta.chunks").observe(
+                report.delta_chunks
+            )
+            self.obs.histogram("rdx.delta.bytes_moved").observe(
+                report.bytes_moved
+            )
         for phase, value in report.phases().items():
             if phase == "link":
                 continue  # linking is measured by its own rdx.link span
@@ -669,6 +1002,13 @@ class CodeFlow:
             state_addr, SLOT_DETACHED.to_bytes(4, "little")
         )
         self.code_allocator.free(record.code_addr)
+        if (
+            record.baseline_addr is not None
+            and record.baseline_addr != record.code_addr
+            and record.baseline_addr not in record.history
+            and self.code_allocator.size_of(record.baseline_addr) is not None
+        ):
+            self.code_allocator.free(record.baseline_addr)
         self._metadata_used.discard(record.metadata_slot)
         if self._hook_owner.get(record.hook_name) == program_name:
             del self._hook_owner[record.hook_name]
@@ -691,6 +1031,21 @@ class CodeFlow:
         record.history.append(record.code_addr)
         record.code_addr = code_addr
         record.version += 1
+        # Rollback breaks the delta chain: the record no longer knows
+        # the live extent's exact bytes, so the baseline pairing is
+        # void.  The baseline extent stays resident while history (or
+        # the hook itself) references it; otherwise it is retired.
+        if (
+            record.baseline_addr is not None
+            and record.baseline_addr != record.code_addr
+            and record.baseline_addr not in record.history
+        ):
+            self._retired.append(record.baseline_addr)
+        record.image = None
+        record.layout = None
+        record.baseline_addr = None
+        record.baseline_image = None
+        record.baseline_version = 0
 
     def _record(self, program_name: str) -> DeployedProgram:
         record = self.deployed.get(program_name)
@@ -721,6 +1076,10 @@ class CodeFlow:
         self._metadata_used.clear()
         self.deployed.clear()
         self._hook_owner.clear()
+        # Retired addresses and the last link key describe the wiped
+        # address space -- both are meaningless now.
+        self._retired.clear()
+        self._last_link_key = None
         self.epoch = 0
         self.sync.hb_epoch = None  # unknown until the next stamp_epoch
 
@@ -730,6 +1089,7 @@ class CodeFlow:
         hook_name: str,
         slot: int,
         block: MetadataBlock,
+        image: Optional[bytes] = None,
     ) -> DeployedProgram:
         """Adopt a live remote deployment into this handle's books.
 
@@ -738,7 +1098,11 @@ class CodeFlow:
         incarnation deployed.  Adoption reconstructs the
         :class:`DeployedProgram` record -- reserving the code pages in
         place -- so ordinary deploy/detach CAS expectations line up
-        with remote reality again.
+        with remote reality again.  ``image`` is the CRC-verified
+        bytes the reconciler read back: recording them lets the first
+        post-recovery full deploy register this extent as a delta
+        baseline (the deploy itself still ships full -- the adopted
+        record carries no layout fingerprint).
         """
         self.code_allocator.reserve(block.code_addr, block.code_len)
         self._metadata_used.add(slot)
@@ -749,6 +1113,7 @@ class CodeFlow:
             code_len=block.code_len,
             metadata_slot=slot,
             version=block.version,
+            image=image,
         )
         self.deployed[program.name] = record
         if hook_name:

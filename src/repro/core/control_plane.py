@@ -421,10 +421,24 @@ class RdxControlPlane:
                 self.journal.abort(txn, reason=str(err))
             raise
         if txn is not None:
-            self.journal.commit(
-                txn, target=codeflow.sandbox.name, hook=hook_name,
+            detail = dict(
+                target=codeflow.sandbox.name, hook=hook_name,
                 name=program.name, tag=tag,
             )
+            if report.mode == "delta":
+                # Provenance: which resident image the delta was
+                # computed against.  A restarted control plane (or an
+                # auditor) can tell a delta-written extent from a
+                # fully staged one -- the bytes at code_addr are only
+                # as good as the baseline they were diffed over.
+                detail["deploy"] = {
+                    "mode": "delta",
+                    "base_addr": report.code_addr,
+                    "base_version": report.delta_base_version,
+                    "chunks": report.delta_chunks,
+                    "bytes_moved": report.bytes_moved,
+                }
+            self.journal.commit(txn, **detail)
         if params.RDX_OBS:
             # Checkpoint metric deltas into the flight ring at commit
             # boundaries, so a later crash snapshot carries the counter

@@ -265,10 +265,13 @@ class Reconciler:
                 ),
             )
             for slot, block in candidates:
-                intact = yield from self._image_intact(codeflow, block)
-                if not intact:
+                image = yield from self._image_intact(codeflow, block)
+                if image is None:
                     continue
-                codeflow.adopt(program, hook, slot, block)
+                # The verified bytes ride into the record: the next
+                # full deploy then registers this extent as a delta
+                # baseline instead of treating its content as unknown.
+                codeflow.adopt(program, hook, slot, block, image=image)
                 adopted_slots.add(slot)
                 record = codeflow.deployed[name]
                 self._act(
@@ -316,12 +319,20 @@ class Reconciler:
                 )
 
     def _image_intact(self, codeflow, block: MetadataBlock) -> Generator:
-        """CRC-check a candidate image before adopting it."""
+        """CRC-check a candidate image; returns its bytes, or None.
+
+        Returning the verified bytes (not just a boolean) lets the
+        adopter record exactly which image is resident -- the delta
+        deploy path needs known baseline bytes, and this readback is
+        the only trustworthy source after a control-plane restart.
+        """
         if block.code_len < 8:
-            return False
+            return None
         image = yield from codeflow.sync.read(block.code_addr, block.code_len)
         stored = int.from_bytes(image[-4:], "little")
-        return zlib.crc32(image[:-4]) & 0xFFFFFFFF == stored
+        if zlib.crc32(image[:-4]) & 0xFFFFFFFF != stored:
+            return None
+        return image
 
     def _flip_hook(self, codeflow, hook, expect, new) -> Generator:
         hook_addr = codeflow._hook_addr(hook)

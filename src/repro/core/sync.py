@@ -230,46 +230,77 @@ class RemoteSync:
         op, exactly as :meth:`write` does -- an armed fault can mangle
         or drop any WR in the batch, and an injected transport error
         fails the whole chain's first attempt (the batch then retries
-        as a whole under the RetryPolicy).  Returns the last chain's
-        completion.
+        as a whole under the RetryPolicy).  A *dropped* WR re-enters
+        the retry loop like a transport error: from the initiator it is
+        indistinguishable from an unACKed write, so it is charged the
+        transport timeout and re-sent (with backoff) until it lands or
+        the retry budget runs out -- the batch never reports success
+        with a chunk missing.  An empty ``ops`` list is a no-op with
+        zero simulated cost (no chain, no doorbell, nothing to charge).
+        Returns the last chain's completion.
         """
-        staged = []
-        inject = None
-        for addr, data in ops:
-            payload, dropped, error = self._consult_hook("write", addr, data)
-            if error is not None and inject is None:
-                inject = error
-            if dropped:
-                continue
-            staged.append((addr, payload))
-        if not staged:
-            yield self.sim.timeout(params.RDX_CC_EVENT_US)
+        pending = list(ops)
+        if not pending:
             return None
         completion = None
         depth = max(1, params.RDX_SQ_DEPTH)
-        for start in range(0, len(staged), depth):
-            window = staged[start : start + depth]
-            self._m_chain_wrs.observe(len(window))
-            self._m_inflight.observe(len(window))
+        inject = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            staged = []
+            redo = []
+            for addr, data in pending:
+                payload, dropped, error = self._consult_hook(
+                    "write", addr, data
+                )
+                if error is not None and inject is None:
+                    inject = error
+                if dropped:
+                    redo.append((addr, data))
+                    continue
+                staged.append((addr, payload))
+            for start in range(0, len(staged), depth):
+                window = staged[start : start + depth]
+                self._m_chain_wrs.observe(len(window))
+                self._m_inflight.observe(len(window))
 
-            def wrs_factory(window=window):
-                return [
-                    WorkRequest(
-                        opcode=WrOpcode.RDMA_WRITE, remote_addr=addr,
-                        rkey=self.rkey, data=payload,
-                        hb=self._hb_note(addr, note),
-                    )
-                    for addr, payload in window
-                ]
+                def wrs_factory(window=window):
+                    return [
+                        WorkRequest(
+                            opcode=WrOpcode.RDMA_WRITE, remote_addr=addr,
+                            rkey=self.rkey, data=payload,
+                            hb=self._hb_note(addr, note),
+                        )
+                        for addr, payload in window
+                    ]
 
-            completion = yield from self._op_batch(
-                wrs_factory, "WRITE_BATCH", inject=inject
-            )
-            self._trace_event(
-                "rdx.trace.chain", wrs=len(window),
-                bytes=sum(len(payload) for _, payload in window),
-            )
-            inject = None
+                completion = yield from self._op_batch(
+                    wrs_factory, "WRITE_BATCH", inject=inject
+                )
+                self._trace_event(
+                    "rdx.trace.chain", wrs=len(window),
+                    bytes=sum(len(payload) for _, payload in window),
+                )
+                inject = None
+            if not redo:
+                return completion
+            # Dropped WRs went out but never ACKed: charge the
+            # transport timeout like any lost op, then back off and
+            # re-send only the missing writes (writes are idempotent,
+            # and the hook is consulted again so one-shot faults heal).
+            yield self.sim.timeout(params.RDMA_RETRY_TIMEOUT_US)
+            self._obs.counter("rdx.retry.attempts", op="write_batch").inc()
+            if attempt == self.retry.max_attempts:
+                self._obs.counter(
+                    "rdx.retry.exhausted", op="write_batch"
+                ).inc()
+                raise TransientFault(
+                    f"WRITE_BATCH: {len(redo)} WR(s) dropped in-flight "
+                    f"after {attempt} attempts"
+                )
+            delay = self.retry.backoff_us(attempt, self._rng)
+            self._obs.histogram("rdx.retry.backoff_us").observe(delay)
+            yield self.sim.timeout(delay)
+            pending = redo
         return completion
 
     def read(self, addr: int, length: int) -> Generator:
@@ -396,10 +427,16 @@ class RemoteSync:
         self.cc_count += 1
         self._trace_event("rdx.trace.flush", addr=mem_addr, length=length)
         if params.RDX_HB_CHECK:
+            # ``waited=True``: this generator blocks until the flush
+            # effect, so anything the caller posts on this QP afterwards
+            # is causally behind it -- unlike the fire-and-forget flush
+            # in broadcast bubble-lowering, which must NOT become a QP
+            # ordering point (see HbGraph._build).
             hb.emit(
                 self.sim, "hb.flush",
                 qp=self.qp.qpn, node=self.qp.rnic.host.name,
                 target=self.sandbox.host.name, addr=mem_addr, length=length,
+                waited=True,
             )
 
     # -- rdx_mutual_excl (§3.5 issue 3) ----------------------------------------

@@ -105,6 +105,36 @@ def make_stress_program(
     )
 
 
+def make_stress_variant(
+    base: BpfProgram, imm: int, name: str = ""
+) -> BpfProgram:
+    """A one-instruction edit of ``base``: the production hotpatch shape.
+
+    Rewrites the last padding no-op (``r7 += 0``) to ``r7 += imm``,
+    leaving every other instruction -- and therefore the linked image
+    layout -- untouched.  Raises when ``base`` has no padding to edit
+    (sizes that divide evenly into generator blocks).
+    """
+    from dataclasses import replace
+
+    pad = Asm()
+    pad.alu64_imm(op.BPF_ADD, op.R7, 0)
+    (pad_insn,) = pad.build()
+    insns = list(base.insns)
+    for index in range(len(insns) - _EPILOGUE_LEN - 1, -1, -1):
+        if insns[index] == pad_insn:
+            insns[index] = replace(insns[index], imm=imm)
+            break
+    else:
+        raise ReproError(f"{base.name}: no padding no-op to edit")
+    return BpfProgram(
+        insns=insns,
+        name=name or base.name,
+        prog_type=base.prog_type,
+        map_names=base.map_names,
+    )
+
+
 def _emit_arith_block(
     asm: Asm, block: int, offset: int, ctx_size: int, seed: int
 ) -> int:

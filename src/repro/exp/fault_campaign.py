@@ -24,7 +24,7 @@ from typing import Optional
 
 from repro.core.broadcast import CodeFlowGroup
 from repro.core.faults import FaultInjector, FaultKind
-from repro.ebpf.stress import make_stress_program
+from repro.ebpf.stress import make_stress_program, make_stress_variant
 from repro.errors import BroadcastAborted
 from repro.exp.harness import make_testbed
 
@@ -70,6 +70,8 @@ class FaultCampaignResult:
     committed: int = 0
     retries_total: int = 0
     faults_injected: int = 0
+    #: Deploy legs that shipped as deltas (``hotpatch=True`` rounds).
+    delta_deploys: int = 0
     #: One-sided telemetry scrapes performed (when ``scrape=True``).
     scrapes: int = 0
     scrape_retries: int = 0
@@ -93,6 +95,7 @@ def run_fault_campaign(
     program_insns: int = 400,
     testbed=None,
     scrape: bool = False,
+    hotpatch: bool = False,
 ) -> FaultCampaignResult:
     """Run ``rounds`` faulted broadcasts on an ``n_hosts`` testbed.
 
@@ -100,6 +103,13 @@ def run_fault_campaign(
     behind a lease detector and runs a one-sided metric scrape of every
     target after each healed round -- the agentless monitoring loop
     exercised under the same fault schedule as the deploys.
+
+    ``hotpatch=True`` makes every round a one-instruction variant of
+    the same base program per target -- the layout fingerprint then
+    holds across rounds, so with :data:`repro.params.RDX_DELTA_DEPLOY`
+    set, steady-state rounds ship as deltas and the whole fault
+    schedule lands on the delta path (fresh targets, just-rebooted
+    targets, and post-rollback rounds still fall back to full).
     """
     rng = random.Random(seed)
     bed = testbed or make_testbed(n_hosts=n_hosts, cores_per_host=8, seed=seed)
@@ -116,9 +126,18 @@ def run_fault_campaign(
         scraper = TelemetryScraper(bed.codeflows)
         health = HealthDetector(bed.codeflows, scraper=scraper)
 
+    bases = [
+        make_stress_program(program_insns, seed=i + 1, name=f"campaign{i}")
+        for i in range(len(bed.codeflows))
+    ] if hotpatch else []
+
     def programs(version: int):
         # Same name every round: each commit chains onto the hook's
         # history, so an abort has a prior image to roll back to.
+        if hotpatch:
+            return [
+                make_stress_variant(base, version) for base in bases
+            ]
         return [
             make_stress_program(
                 program_insns, seed=version * 31 + i, name=f"campaign{i}"
@@ -191,6 +210,7 @@ def run_fault_campaign(
     result.faults_injected = int(
         _counter_total(bed.obs, "rdx.faults.injected")
     )
+    result.delta_deploys = int(_counter_total(bed.obs, "rdx.deploy.delta"))
     if scrape:
         result.scrapes = int(_counter_total(bed.obs, "rdx.scrape.count"))
         result.scrape_retries = int(

@@ -19,6 +19,13 @@ so CI can gate on it:
   data path executes it; no bubble, no fresh pages, no flush edge.
 * ``bubble-race`` -- two owners flip the bubble word concurrently
   (broadcast raising vs a reconciler-style sweep lowering).
+* ``delta-chunk-reordered`` -- a delta hotpatch whose dirty chunk
+  ships on a sibling QP while the commit CAS goes out on the primary:
+  the sharded-SQ variant of the completion fallacy, where the commit
+  can land before the chunk it publishes.
+* ``delta-stale-baseline`` -- after a warm reboot and re-provision, a
+  stale delta engine patches the extent it recorded as the dormant
+  baseline -- which the fresh deploy now runs live.
 * ``clean-deploy`` -- the control: inject, redeploy, and data-path
   executions through the real stack must produce zero findings.
 
@@ -35,7 +42,7 @@ from typing import Optional
 from repro import params
 from repro.core.control_plane import _pd_of
 from repro.core.sync import RemoteSync
-from repro.ebpf.stress import make_stress_program
+from repro.ebpf.stress import make_stress_program, make_stress_variant
 from repro.errors import SandboxCrash
 from repro.exp.harness import Testbed, format_table, make_testbed
 from repro.hb import checker
@@ -211,12 +218,115 @@ def _schedule_bubble_race(seed: int) -> ScheduleResult:
     return _finish(bed, ScheduleResult("bubble-race", expect="bubble-race"))
 
 
+def _schedule_delta_chunk_reordered(seed: int) -> ScheduleResult:
+    """A delta chunk posted on a sibling QP, racing its commit CAS.
+
+    v1/v2 deploy through the real stack (registering v1's extent as
+    the delta baseline), then a broken sharded-SQ delta engine ships
+    the dirty span on a second QP while the commit CAS goes out on the
+    primary: the CAS's completion says nothing about the sibling QP's
+    chunk, so the published extent can go live half-patched.
+    """
+    saved = params.RDX_DELTA_DEPLOY
+    params.RDX_DELTA_DEPLOY = True
+    try:
+        bed = make_testbed(n_hosts=1, cores_per_host=4, seed=seed)
+        sim = bed.sim
+        sandbox = bed.sandboxes[0]
+        v1 = make_stress_program(400, seed=seed + 3, name="hbdelta")
+        v2 = make_stress_variant(v1, 1)
+        sim.run_process(bed.control.inject(bed.codeflow, v1, "ingress"))
+        sim.run_process(bed.control.inject(bed.codeflow, v2, "ingress"))
+        record = bed.codeflow.deployed["hbdelta"]
+        assert record.baseline_addr is not None
+        hook_addr = sandbox.hook_table.slot_addr("ingress")
+
+        note = hb_events.txn_note(
+            publishes=(record.baseline_addr, record.code_len)
+        )
+        chunk_sync = _second_sync(bed, sandbox)
+        sim.spawn(
+            chunk_sync.write(
+                record.baseline_addr + 256, b"\xd7" * 64,
+                note={"txn": note["txn"]},
+            ),
+            name="hb-delta-chunk",
+        )
+        sim.spawn(
+            bed.codeflow.sync.cas(
+                hook_addr, record.code_addr, record.baseline_addr, note=note
+            ),
+            name="hb-delta-commit",
+        )
+        sim.run(until=sim.now + 10_000)
+        return _finish(
+            bed,
+            ScheduleResult(
+                "delta-chunk-reordered", expect="commit-before-body"
+            ),
+        )
+    finally:
+        params.RDX_DELTA_DEPLOY = saved
+
+
+def _schedule_delta_stale_baseline(seed: int) -> ScheduleResult:
+    """Delta chunks against a baseline that stopped existing.
+
+    The engine records (baseline addr, baseline bytes), then the
+    target warm-reboots and is re-provisioned: the wiped allocator
+    hands the *fresh live image* the same extent the stale engine
+    knows as the dormant baseline.  Its precomputed dirty span then
+    lands in code the data path is executing.
+    """
+    saved = params.RDX_DELTA_DEPLOY
+    params.RDX_DELTA_DEPLOY = True
+    try:
+        bed = make_testbed(n_hosts=1, cores_per_host=4, seed=seed)
+        sim = bed.sim
+        sandbox = bed.sandboxes[0]
+        v1 = make_stress_program(400, seed=seed + 9, name="hbstale")
+        v2 = make_stress_variant(v1, 1)
+        sim.run_process(bed.control.inject(bed.codeflow, v1, "ingress"))
+        sim.run_process(bed.control.inject(bed.codeflow, v2, "ingress"))
+        record = bed.codeflow.deployed["hbstale"]
+        stale_base = record.baseline_addr
+        assert stale_base is not None
+
+        sandbox.warm_reboot()
+        bed.codeflow.reset_after_reboot()
+        fresh = make_stress_program(400, seed=seed + 23, name="hbfresh")
+        sim.run_process(bed.control.inject(bed.codeflow, fresh, "ingress"))
+        # Address reuse is the point: the reset allocator put the
+        # fresh live image where the stale baseline used to be.
+        assert bed.codeflow.deployed["hbfresh"].code_addr == stale_base
+
+        writer = _second_sync(bed, sandbox)
+        sim.spawn(
+            writer.write(stale_base + 256, b"\xd7" * 64),
+            name="hb-stale-delta",
+        )
+        sim.run(until=sim.now + 2.5)  # mid-landing
+        try:
+            sandbox.run_hook("ingress", bytes(256))
+        except SandboxCrash:
+            pass  # decoding the half-patched image may crash -- the bug
+        sandbox.crashed = False
+        sim.run(until=sim.now + 10_000)
+        return _finish(
+            bed, ScheduleResult("delta-stale-baseline", expect="torn-exec")
+        )
+    finally:
+        params.RDX_DELTA_DEPLOY = saved
+
+
 _SCHEDULES = (
     _schedule_clean_deploy,
     _schedule_reordered_commit,
     _schedule_fenceless_stale_writer,
     _schedule_torn_install,
     _schedule_bubble_race,
+    _schedule_delta_chunk_reordered,
+    _schedule_delta_stale_baseline,
 )
 
 

@@ -26,7 +26,11 @@ Event categories and their payloads:
     act as ordering points.
 ``hb.flush.post`` / ``hb.flush``
     ``rdx_cc_event``: the fire-and-forget doorbell going out, and the
-    remote cache-line flush actually taking effect ~2us later.
+    remote cache-line flush actually taking effect ~2us later.  The
+    effect carries ``waited=True`` when the initiator blocked on the
+    cc CQE (the blocking ``RemoteSync.cc_event``); only waited flushes
+    act as QP ordering points in the graph -- the broadcast's deferred
+    bubble flush omits the flag and orders nothing.
 ``hb.lock``
     ``rdx_mutual_excl`` transitions: ``op`` is ``acquire``/``release``,
     ``addr`` the lock word, ``token`` the owner.

@@ -20,6 +20,18 @@ ops -- see DESIGN.md §12 for the full rationale):
 * **flush post -> flush effect**, and **flush -> exec** for the
   latest flush covering the hook word an exec read: the exec observed
   post-flush bytes.
+* **exec -> subsequent flush effect (same target)** -- the flush
+  executes on the target's cache agent, serialized with the core, so
+  an exec that retired before the flush effect is target-local-order
+  before it.  This is what gives a delta deploy its grace period: old
+  executions of the baseline extent are ordered before the successor's
+  commit flush, hence before delta chunks posted after it.
+* **waited flush effect -> subsequent post (same QP)** -- ONLY for
+  flushes whose initiator blocked on the cc CQE (``waited=True``,
+  emitted by the blocking ``RemoteSync.cc_event``): anything posted on
+  that QP afterwards is causally behind the flush effect.  The
+  broadcast's fire-and-forget bubble flush carries no ``waited`` flag
+  and never becomes an ordering point.
 * **reads-from: installer -> exec** -- the WRITE/CAS land that put
   the observed pointer value into the hook qword happens before the
   exec that read it.
@@ -74,6 +86,7 @@ class HbGraph:
         flush_posts: dict[tuple[int, int], HbEvent] = {}  # (qp, addr) -> post
         flushes: dict[str, dict[tuple[int, int], HbEvent]] = {}  # target
         last_release: dict[tuple[str, int], HbEvent] = {}
+        last_exec: dict[str, HbEvent] = {}  # target -> latest exec
         # (target, addr) -> {qword value -> installing land}
         installers: dict[tuple[str, int], dict[int, HbEvent]] = {}
         # target -> {epoch tag -> joined clock of tagged events}
@@ -132,9 +145,20 @@ class HbGraph:
                 if post is not None:
                     preds.append(post)
                 target = event.data.get("target")
+                # The flush effect runs on the target's cache agent,
+                # serialized with the core: the latest retired exec on
+                # that target is local-order before it.
+                exec_pred = last_exec.get(target)
+                if exec_pred is not None:
+                    preds.append(exec_pred)
                 flushes.setdefault(target, {})[
                     (event.data["addr"], event.length)
                 ] = event
+                # Only a flush the initiator *blocked on* orders its
+                # later posts (the fire-and-forget bubble flush lands
+                # whenever it lands -- no waited flag, no edge).
+                if event.data.get("waited"):
+                    ordering_point[qp] = event
 
             elif etype == "lock":
                 point = ordering_point.get(qp)
@@ -162,6 +186,8 @@ class HbGraph:
                     )
                     if flush is not None:
                         preds.append(flush)
+                if target is not None:
+                    last_exec[target] = event
 
             actor = event.actor
             index = next_index.get(actor, 0) + 1

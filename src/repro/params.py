@@ -103,6 +103,26 @@ RDX_PIPELINED_DEPLOY = os.environ.get("RDX_PIPELINED_DEPLOY", "1") not in (
     "0", "false", "no",
 )
 
+#: Master switch for the delta-deploy fast path: when the linked-image
+#: cache certifies an identical (arch, GOT-fingerprint) layout and the
+#: superseded image is still resident as a baseline, a redeploy ships
+#: only the MTU chunks that changed (trimmed to dirty cache lines) and
+#: flips the hook with the usual commit CAS.  A mutable module global
+#: like :data:`RDX_PIPELINED_DEPLOY` so the ablation bench can flip
+#: both arms inside one process; the environment sets only the default
+#: (``RDX_DELTA_DEPLOY=1`` to enable).  Requires the pipelined path.
+RDX_DELTA_DEPLOY = os.environ.get("RDX_DELTA_DEPLOY", "0") not in (
+    "0", "false", "no", "",
+)
+
+#: Break-even threshold for the delta path: a diff dirtying more than
+#: this many MTU chunks falls back to the full-image pipelined deploy.
+#: One chain of small WRs beats one big write only while the trimmed
+#: payload stays well under the image size; past ~half the image the
+#: per-WR overhead (RNIC_OP_OVERHEAD_US each side + chain bookkeeping)
+#: erases the bytes saved.
+RDX_DELTA_MAX_CHUNKS = int(os.environ.get("RDX_DELTA_MAX_CHUNKS", "8"))
+
 #: Master switch for happens-before race checking (:mod:`repro.hb`).
 #: When on, the RNIC / sync / sandbox layers emit ``hb.*`` trace
 #: events and the pytest fixture in ``tests/conftest.py`` runs the
