@@ -458,6 +458,91 @@ def _blackbox(seed: int, nodes: int) -> str:
     )
 
 
+def _fuzz(
+    scenario: str,
+    iterations: int,
+    seed: int,
+    corpus_dir: str,
+    replay: bool,
+    max_events: int,
+) -> tuple[str, int]:
+    """The ``fuzz`` subcommand: explore schedules or replay the corpus.
+
+    Fuzz mode exits nonzero when a *guarded* scenario produces a
+    finding or invariant break (a live ordering bug).  Known-bad
+    scenarios are *supposed* to fail; their minimized tapes are saved
+    to the corpus as regression anchors.  Replay mode reruns every
+    corpus schedule and exits nonzero unless each one re-trips its
+    recorded failure class -- the detector-liveness gate.
+    """
+    from repro.fuzz import corpus as fuzz_corpus
+    from repro.fuzz.engine import fuzz as run_fuzz
+    from repro.fuzz.scenarios import GUARDED, KNOWN_BAD, SCENARIOS, get
+
+    lines: list[str] = []
+    status = 0
+
+    if replay:
+        entries = fuzz_corpus.load_dir(corpus_dir)
+        if not entries:
+            return f"no schedule files under {corpus_dir}", 1
+        for entry in entries:
+            result, ok = fuzz_corpus.replay(entry, max_events=max_events)
+            mark = "ok" if ok else "DETECTOR SILENT"
+            lines.append(
+                f"[{mark}] {entry.filename}: verdict={result.verdict} "
+                f"kinds={','.join(result.kinds) or '-'} "
+                f"({len(entry.plan.decisions)} decision(s))"
+            )
+            if not ok:
+                status = 1
+        lines.append(
+            f"{len(entries)} schedule(s) replayed"
+            + ("" if status == 0 else " -- LIVENESS GATE FAILED")
+        )
+        return "\n".join(lines), status
+
+    if scenario == "all":
+        names = list(SCENARIOS)
+    elif scenario == "guarded":
+        names = list(GUARDED)
+    elif scenario == "known-bad":
+        names = list(KNOWN_BAD)
+    else:
+        names = [scenario]
+
+    for name in names:
+        target = get(name)
+        report = run_fuzz(
+            target, iterations=iterations, seed=seed, max_events=max_events
+        )
+        verdicts = " ".join(
+            f"{k}={v}" for k, v in sorted(report.verdicts.items())
+        )
+        lines.append(f"{name}: {report.iterations} iteration(s), {verdicts}")
+        for failure in report.failures:
+            entry = fuzz_corpus.CorpusEntry.from_failure(
+                failure, workload_seed=0
+            )
+            path = fuzz_corpus.save(entry, corpus_dir)
+            lines.append(
+                f"  {failure.kind}: found at iteration {failure.iteration}, "
+                f"minimized {failure.original_decisions} -> "
+                f"{failure.minimized_decisions} decision(s) "
+                f"in {failure.minimize_runs} run(s) -> {path}"
+            )
+        if not target.known_bad and report.failures:
+            lines.append(f"  ORDERING BUG: guarded scenario {name} failed")
+            status = 1
+        if target.known_bad and target.expect not in report.kinds_found:
+            lines.append(
+                f"  DETECTOR MISS: {name} never tripped {target.expect} "
+                f"in {iterations} iteration(s)"
+            )
+            status = 1
+    return "\n".join(lines), status
+
+
 def _recover(seed: int, nodes: int) -> str:
     from repro.exp.recovery_campaign import (
         format_recovery_report,
@@ -490,9 +575,10 @@ def main(argv=None) -> int:
         "experiment",
         choices=sorted(EXPERIMENTS)
         + ["all", "list", "telemetry", "faults", "recover", "races",
-           "blackbox"],
+           "blackbox", "fuzz"],
         help="which figure/table to regenerate "
-        "(or 'telemetry' / 'faults' / 'recover' / 'races' / 'blackbox')",
+        "(or 'telemetry' / 'faults' / 'recover' / 'races' / 'blackbox' "
+        "/ 'fuzz')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps, faster run"
@@ -528,12 +614,33 @@ def main(argv=None) -> int:
         help="faults: write snap.prom / snap.jsonl metric snapshots "
         "to DIR (implies --scrape)",
     )
+    parser.add_argument(
+        "--iterations", type=int, default=25,
+        help="fuzz: decision tapes to try per scenario",
+    )
+    parser.add_argument(
+        "--scenario", default="all", metavar="NAME",
+        help="fuzz: scenario name, or 'all' / 'guarded' / 'known-bad'",
+    )
+    parser.add_argument(
+        "--corpus-dir", default="corpus/schedules", metavar="DIR",
+        help="fuzz: where minimized schedule files live",
+    )
+    parser.add_argument(
+        "--replay", action="store_true",
+        help="fuzz: replay the corpus instead of fuzzing (detector "
+        "liveness gate)",
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=50_000,
+        help="fuzz: per-iteration trace bound (overrun = inconclusive)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         try:
             for name in sorted(EXPERIMENTS) + [
-                "blackbox", "faults", "races", "recover", "telemetry"
+                "blackbox", "faults", "fuzz", "races", "recover", "telemetry"
             ]:
                 print(name)
         except BrokenPipeError:  # e.g. `repro list | head`
@@ -557,6 +664,18 @@ def main(argv=None) -> int:
             seed=args.seed,
             nodes=args.nodes,
             rounds=4 if args.quick else args.rounds,
+        )
+        print(text)
+        return status
+
+    if args.experiment == "fuzz":
+        text, status = _fuzz(
+            scenario=args.scenario,
+            iterations=5 if args.quick else args.iterations,
+            seed=args.seed,
+            corpus_dir=args.corpus_dir,
+            replay=args.replay,
+            max_events=args.max_events,
         )
         print(text)
         return status

@@ -53,6 +53,19 @@ class FaultKind(enum.Enum):
 #: and applied to code-image writes).
 PAYLOAD_KINDS = (FaultKind.TORN_WRITE, FaultKind.BIT_FLIP)
 
+#: The menu a schedule-fuzz plan chooses a fault from (slot 0 = no
+#: fault, keeping "choice 0 is the unperturbed schedule" true here
+#: too).  Only *recoverable* kinds: the fuzz scenarios assert on race
+#: findings and invariants, so a fault must perturb the schedule
+#: without fail-stopping the world on its own.
+FUZZ_FAULT_MENU = (
+    None,
+    FaultKind.TRANSIENT,
+    FaultKind.TORN_WRITE,
+    FaultKind.BIT_FLIP,
+    FaultKind.DROPPED_FLUSH,
+)
+
 
 @dataclass
 class FaultRecord:
@@ -96,6 +109,21 @@ class FaultInjector:
     def disarm(self) -> None:
         self._armed = None
         self._armed_count = 0
+
+    def arm_from_plan(self, plan, site: str) -> Optional[FaultKind]:
+        """Let a schedule-fuzz decision tape pick the next fault.
+
+        ``plan`` is a :class:`~repro.fuzz.plan.SchedulePlan`; the
+        chosen :data:`FUZZ_FAULT_MENU` entry is armed (``None`` arms
+        nothing) and returned, so scenarios can log what the tape did.
+        A minimized tape that drops this decision reverts to the
+        fault-free schedule -- fault type is one more shrinkable
+        choice, exactly like a delay.
+        """
+        kind = FUZZ_FAULT_MENU[plan.choose(site, len(FUZZ_FAULT_MENU))]
+        if kind is not None:
+            self.arm(kind)
+        return kind
 
     @property
     def armed(self) -> Optional[FaultKind]:

@@ -64,9 +64,16 @@ def make_testbed(
     with_agents: bool = True,
     with_codeflows: bool = True,
     seed: int = 0,
+    sim: Optional[Simulator] = None,
 ) -> Testbed:
-    """Build the standard single-rack testbed."""
-    sim = Simulator()
+    """Build the standard single-rack testbed.
+
+    ``sim`` lets a caller pre-configure the simulator before any
+    component touches it -- the fuzz engine uses this to install its
+    decision tape and bounded trace recorder ahead of construction.
+    """
+    if sim is None:
+        sim = Simulator()
     trace = TraceRecorder()
     cluster = Cluster(
         sim, n_hosts=n_hosts, cores_per_host=cores_per_host,

@@ -86,7 +86,7 @@ class HbSchedulesResult:
         return bool(self.schedules) and all(s.ok for s in self.schedules)
 
 
-def _second_sync(bed: Testbed, sandbox: Sandbox) -> RemoteSync:
+def sibling_sync(bed: Testbed, sandbox: Sandbox) -> RemoteSync:
     """A sibling QP to ``sandbox`` from the control host.
 
     Same initiator, same target, different send queue -- the minimal
@@ -134,7 +134,7 @@ def _schedule_reordered_commit(seed: int) -> ScheduleResult:
     sim = bed.sim
     sandbox = bed.sandboxes[0]
     body_sync = bed.codeflow.sync
-    commit_sync = _second_sync(bed, sandbox)
+    commit_sync = sibling_sync(bed, sandbox)
     assert sandbox.ctx_manifest is not None
     code_addr = sandbox.ctx_manifest.code_addr
     hook_addr = sandbox.hook_table.slot_addr("ingress")
@@ -190,7 +190,7 @@ def _schedule_torn_install(seed: int) -> ScheduleResult:
     program = make_stress_program(400, seed=seed + 5, name="hbtorn")
     sim.run_process(bed.control.inject(bed.codeflow, program, "ingress"))
     record = bed.codeflow.deployed[program.name]
-    writer = _second_sync(bed, sandbox)
+    writer = sibling_sync(bed, sandbox)
     junk = b"\xcc" * record.code_len
     # Overwrite the live image in place -- no fresh pages, no pointer
     # flip -- while the data path executes it.
@@ -210,7 +210,7 @@ def _schedule_bubble_race(seed: int) -> ScheduleResult:
     sim = bed.sim
     sandbox = bed.sandboxes[0]
     raiser = bed.codeflow.sync
-    lowerer = _second_sync(bed, sandbox)
+    lowerer = sibling_sync(bed, sandbox)
     bubble = sandbox.bubble_addr
     sim.spawn(raiser.write(bubble, pack_qword(1)), name="hb-raise")
     sim.spawn(lowerer.write(bubble, pack_qword(0)), name="hb-lower")
@@ -244,7 +244,7 @@ def _schedule_delta_chunk_reordered(seed: int) -> ScheduleResult:
         note = hb_events.txn_note(
             publishes=(record.baseline_addr, record.code_len)
         )
-        chunk_sync = _second_sync(bed, sandbox)
+        chunk_sync = sibling_sync(bed, sandbox)
         sim.spawn(
             chunk_sync.write(
                 record.baseline_addr + 256, b"\xd7" * 64,
@@ -300,7 +300,7 @@ def _schedule_delta_stale_baseline(seed: int) -> ScheduleResult:
         # fresh live image where the stale baseline used to be.
         assert bed.codeflow.deployed["hbfresh"].code_addr == stale_base
 
-        writer = _second_sync(bed, sandbox)
+        writer = sibling_sync(bed, sandbox)
         sim.spawn(
             writer.write(stale_base + 256, b"\xd7" * 64),
             name="hb-stale-delta",

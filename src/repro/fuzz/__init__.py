@@ -1,0 +1,20 @@
+"""Seeded schedule fuzzer: explore interleavings, shrink failures.
+
+The simulator is deterministic given a seed -- which makes every run
+*one* schedule.  This package turns that into coverage: a
+:class:`~repro.fuzz.plan.SchedulePlan` (a seed-derived decision tape)
+drives explicit perturbation hooks at the stack's stochastic choice
+points (WR service order and completion timing in the RNIC, message
+delay in the fabric, fault kind/timing in the injector), the PR-5
+happens-before detectors judge each generated interleaving, and a
+delta-debugging minimizer shrinks any failure to the smallest decision
+tape that still reproduces -- written out as a replayable JSON
+schedule file that becomes a permanent regression anchor.
+
+Entry points: ``python -m repro.cli fuzz`` or
+:func:`repro.fuzz.engine.fuzz` directly.
+"""
+
+from repro.fuzz.plan import DELAY_STEPS, Decision, SchedulePlan
+
+__all__ = ["DELAY_STEPS", "Decision", "SchedulePlan"]

@@ -1,0 +1,144 @@
+"""The schedule corpus: minimized failures as regression anchors.
+
+Every minimized failure serializes to one JSON schedule file carrying
+everything a replay needs -- scenario, workload seed, frozen decision
+tape, the detector kind it must re-trip, and the finding it originally
+produced (for the human reading the file).  ``replay`` reruns the
+schedule deterministically and verifies the same failure class fires:
+the corpus doubles as a liveness gate on the detectors themselves
+(CI replays it every run -- a detector that stops firing on a known-bad
+schedule fails the build, exactly like a test that stops asserting).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.fuzz.engine import MinimizedFailure, RunResult, run_plan
+from repro.fuzz.plan import SCHEMA, SchedulePlan
+from repro.fuzz.scenarios import get as get_scenario
+
+#: Repo-relative default corpus location (CI replays this directory).
+DEFAULT_DIR = os.path.join("corpus", "schedules")
+
+
+@dataclass
+class CorpusEntry:
+    """One schedule file: a replayable minimized failure."""
+
+    scenario: str
+    kind: str
+    workload_seed: int
+    plan: SchedulePlan
+    finding: Optional[dict] = None
+    meta: Optional[dict] = None
+
+    @property
+    def filename(self) -> str:
+        return f"{self.scenario}.{self.kind}.json"
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "schema": SCHEMA,
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "workload_seed": self.workload_seed,
+            "plan": self.plan.to_dict(),
+        }
+        if self.finding is not None:
+            data["finding"] = self.finding
+        if self.meta is not None:
+            data["meta"] = self.meta
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        if data.get("schema") != SCHEMA:
+            raise ReproError(
+                f"schedule file schema {data.get('schema')!r} != {SCHEMA!r}"
+            )
+        return cls(
+            scenario=str(data["scenario"]),
+            kind=str(data["kind"]),
+            workload_seed=int(data.get("workload_seed", 0)),
+            plan=SchedulePlan.from_dict(data["plan"]),
+            finding=data.get("finding"),
+            meta=data.get("meta"),
+        )
+
+    @classmethod
+    def from_failure(
+        cls, failure: MinimizedFailure, workload_seed: int
+    ) -> "CorpusEntry":
+        finding = (
+            failure.result.findings[0].to_dict()
+            if failure.result.findings
+            else None
+        )
+        return cls(
+            scenario=failure.scenario,
+            kind=failure.kind,
+            workload_seed=workload_seed,
+            plan=failure.plan,
+            finding=finding,
+            meta={
+                "found_at_iteration": failure.iteration,
+                "original_decisions": failure.original_decisions,
+                "minimized_decisions": failure.minimized_decisions,
+                "minimize_runs": failure.minimize_runs,
+                "verdict": failure.result.verdict,
+                "digest": failure.result.digest,
+            },
+        )
+
+
+def save(entry: CorpusEntry, directory: str = DEFAULT_DIR) -> str:
+    """Write the schedule file; returns the path.  Filenames are keyed
+    (scenario, kind) so re-fuzzing refreshes anchors in place instead
+    of accreting duplicates."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, entry.filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load(path: str) -> CorpusEntry:
+    with open(path, "r", encoding="utf-8") as handle:
+        return CorpusEntry.from_dict(json.load(handle))
+
+
+def load_dir(directory: str = DEFAULT_DIR) -> list[CorpusEntry]:
+    """All schedule files in ``directory``, name-sorted (deterministic
+    replay order)."""
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            entries.append(load(os.path.join(directory, name)))
+    return entries
+
+
+def replay(
+    entry: CorpusEntry, max_events: int = 50_000
+) -> tuple[RunResult, bool]:
+    """Rerun one corpus schedule; ``ok`` means the expected failure
+    class fired again (detector liveness)."""
+    scenario = get_scenario(entry.scenario)
+    result = run_plan(
+        scenario,
+        entry.plan.replay_plan(),
+        workload_seed=entry.workload_seed,
+        max_events=max_events,
+    )
+    if entry.kind == "invariant":
+        ok = bool(result.failures)
+    else:
+        ok = entry.kind in result.kinds
+    return result, ok

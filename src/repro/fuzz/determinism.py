@@ -1,0 +1,66 @@
+"""Process-global counter isolation: same seed, byte-identical trace.
+
+Several modules mint ids from process-global ``itertools.count``
+streams (QP numbers, WR ids, hb chain/txn ids, span ids, ...).  Those
+ids land in trace events, so two runs of the *same* scenario in one
+process would differ byte-for-byte purely because earlier tests
+advanced the counters.  :func:`deterministic_ids` pins them: each
+counter is swapped for a fresh one at its canonical start value for
+the duration of the block, then the original stream is restored so
+surrounding code keeps counting from where it was.
+
+Id collisions with objects created outside the block are harmless:
+every id in this list is only ever compared *within* one simulator's
+scope (a QP number keys actors inside one trace; an rkey is looked up
+in one protection domain), and a fuzz iteration builds its world from
+scratch inside the block.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+
+
+def _sites() -> list[tuple[object, str, int]]:
+    """(module-or-class, attribute, canonical start) for every counter
+    whose values can appear in a recorded trace."""
+    from repro.core import codeflow
+    from repro.ebpf import maps, program
+    from repro.hb import events as hb_events
+    from repro.net import rpc
+    from repro.obs import spans
+    from repro.rdma import mr, qp
+    from repro.sandbox import sandbox
+    from repro.wasm import module as wasm_module
+
+    return [
+        (qp, "_qp_numbers", 0x11),
+        (qp, "_wr_ids", 1),
+        (hb_events, "_chain_ids", 1),
+        (hb_events, "_txn_ids", 1),
+        (spans, "_span_ids", 1),
+        (spans, "_trace_ids", 1),
+        (sandbox, "_sandbox_ids", 1),
+        (rpc, "_rpc_ids", 1),
+        (mr, "_key_source", 0x1000),
+        (mr.ProtectionDomain, "_handles", 1),
+        (codeflow, "_deploy_ids", 1),
+        (program, "_prog_ids", 1),
+        (maps, "_map_ids", 1),
+        (wasm_module, "_module_ids", 1),
+    ]
+
+
+@contextmanager
+def deterministic_ids():
+    """Pin every trace-visible id counter to its canonical start."""
+    saved = []
+    for owner, attr, start in _sites():
+        saved.append((owner, attr, getattr(owner, attr)))
+        setattr(owner, attr, itertools.count(start))
+    try:
+        yield
+    finally:
+        for owner, attr, original in saved:
+            setattr(owner, attr, original)

@@ -1,0 +1,76 @@
+"""Perturbation hooks: how a plan reaches into the simulation.
+
+The RNIC, fabric, and fault layers call :func:`perturb_us` /
+:func:`plan_of` at their stochastic choice points.  Both are gated on
+:data:`repro.params.RDX_FUZZ` *at the call site* so a normal run pays
+one module-global read per WR and nothing else.
+
+The plan rides on the :class:`~repro.sim.core.Simulator` instance
+itself (like the telemetry hub), so two concurrently constructed
+simulations can never cross tapes and there is no global registry to
+reset between iterations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fuzz.plan import SchedulePlan
+    from repro.sim.core import Simulator
+
+#: Attribute caching the plan on the simulator instance.
+_SIM_ATTR = "_rdx_fuzz_plan"
+
+
+def install(sim: "Simulator", plan: "SchedulePlan") -> None:
+    """Attach ``plan`` as ``sim``'s decision tape."""
+    setattr(sim, _SIM_ATTR, plan)
+
+
+def uninstall(sim: "Simulator") -> None:
+    if hasattr(sim, _SIM_ATTR):
+        delattr(sim, _SIM_ATTR)
+
+
+def plan_of(sim: "Simulator") -> "Optional[SchedulePlan]":
+    return getattr(sim, _SIM_ATTR, None)
+
+
+def perturb_us(sim: "Simulator", site: str, base_us: float) -> float:
+    """Extra delay the installed plan injects at ``site`` (0 if none).
+
+    Callers already checked :data:`repro.params.RDX_FUZZ`; a sim with
+    no plan installed (e.g. a second testbed built while the flag is
+    on) is simply unperturbed.
+    """
+    plan = getattr(sim, _SIM_ATTR, None)
+    if plan is None:
+        return 0.0
+    return plan.delay_us(site, base_us)
+
+
+def bind(
+    sim: "Simulator", plan: "SchedulePlan", max_events: int
+) -> TraceRecorder:
+    """Install ``plan`` plus a fresh bounded trace recorder on ``sim``.
+
+    Must run before any component touches :func:`telemetry_of` on this
+    simulator (the fuzz engine creates the bare ``Simulator`` itself
+    for exactly this reason).  The per-iteration recorder is the fuzz
+    loop's memory bound: each iteration gets its own ring, torn down
+    explicitly by the engine, and a ring that overflows marks the
+    iteration inconclusive rather than growing without limit.
+    """
+    from repro.obs.telemetry import _SIM_ATTR as _TELEMETRY_ATTR, Telemetry
+
+    if getattr(sim, _TELEMETRY_ATTR, None) is not None:
+        raise RuntimeError(
+            "fuzz bind() must precede the simulator's first telemetry use"
+        )
+    recorder = TraceRecorder(max_events=max_events)
+    setattr(sim, _TELEMETRY_ATTR, Telemetry(sim, recorder=recorder))
+    install(sim, plan)
+    return recorder

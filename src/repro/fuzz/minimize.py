@@ -1,0 +1,80 @@
+"""Delta-debugging (ddmin) over decision tapes.
+
+The tape's replay semantics make shrinking-by-deletion sound: a frozen
+plan defaults every choice point *not* on the tape to choice 0, "no
+perturbation".  Deleting a decision therefore never desynchronizes
+later ones -- each decision is keyed ``(site, hit)``, not positional,
+so the surviving entries still land at exactly the same choice points.
+
+Classic Zeller/Hildebrandt complement ddmin: try ever-finer partitions,
+restart coarse whenever a smaller failing tape is found, stop at
+granularity > length or when the run budget is spent.  The result is
+1-minimal *modulo budget*: with budget to spare, removing any single
+surviving decision makes the failure vanish.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.fuzz.plan import Decision
+
+
+def minimize_decisions(
+    decisions: Sequence[Decision],
+    test: Callable[[list[Decision]], bool],
+    budget: int = 64,
+) -> list[Decision]:
+    """Shrink ``decisions`` to a smaller list for which ``test`` still
+    returns True.  ``test([])`` is tried first: structural races fire
+    on *every* interleaving, so their minimal tape is empty -- that is
+    the finding ("the bug needs no special schedule"), not a fuzzer
+    failure.  ``budget`` caps the number of ``test`` invocations.
+    """
+    current = list(decisions)
+    if not current:
+        return current
+    runs = 0
+
+    def check(subset: list[Decision]) -> bool:
+        nonlocal runs
+        runs += 1
+        return test(subset)
+
+    if check([]):
+        return []
+    granularity = 2
+    while len(current) >= 2 and runs < budget:
+        chunks = _partition(current, granularity)
+        reduced = False
+        for i in range(len(chunks)):
+            if runs >= budget:
+                break
+            complement = [
+                d for j, chunk in enumerate(chunks) for d in chunk if j != i
+            ]
+            if check(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(granularity * 2, len(current))
+    return current
+
+
+def _partition(
+    items: list[Decision], granularity: int
+) -> list[list[Decision]]:
+    n = len(items)
+    granularity = min(granularity, n)
+    base, extra = divmod(n, granularity)
+    chunks = []
+    start = 0
+    for i in range(granularity):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks

@@ -1,0 +1,177 @@
+"""The decision tape: every stochastic choice a schedule makes.
+
+A :class:`SchedulePlan` is the single source of nondeterminism for one
+fuzzed simulation run.  Perturbation hooks (RNIC service/completion
+delay, fabric message delay, fault type/timing) never roll dice
+themselves -- they ask the plan::
+
+    choice = plan.choose("rnic.service:h0.rnic.q1", len(menu))
+
+keyed by a **site** (a stable string naming the choice point) and a
+per-site **hit counter** (the Nth time that site is consulted).  Two
+modes:
+
+* **generate** -- the choice is a pure function of
+  ``(plan seed, site, hit)`` via :func:`repro.sim.rand.stable_seed`,
+  so the same seed regenerates the same tape regardless of the order
+  sites are consulted in.  Non-default choices are recorded as
+  :class:`Decision` entries -- the realized tape.
+* **replay** (frozen) -- the choice is looked up from an explicit
+  decision list; a ``(site, hit)`` with no entry gets choice 0, which
+  every menu reserves for "no perturbation".  Deleting entries from a
+  frozen tape therefore *removes* perturbations -- exactly the shrink
+  operation delta debugging needs.
+
+Choice 0 meaning "default/unperturbed" at every site is the contract
+that makes minimization sound: the empty tape is the baseline
+schedule, and any subset of a failing tape is a well-formed schedule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.sim.rand import stable_seed
+
+#: JSON schema tag stamped into every serialized plan/schedule file.
+SCHEMA = "rdx-fuzz-schedule-v1"
+
+#: Delay multipliers a timing site chooses from (applied to the site's
+#: base magnitude).  Index 0 is the unperturbed schedule; two zero
+#: entries bias generation toward leaving most choice points alone, so
+#: a failing tape stays sparse and shrinks well.
+DELAY_STEPS = (0.0, 0.0, 0.5, 1.0, 2.0)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded choice: site, hit index, and the menu index taken."""
+
+    site: str
+    hit: int
+    choice: int
+
+    def to_dict(self) -> dict:
+        return {"site": self.site, "hit": self.hit, "choice": self.choice}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Decision":
+        return cls(
+            site=str(data["site"]),
+            hit=int(data["hit"]),
+            choice=int(data["choice"]),
+        )
+
+
+class SchedulePlan:
+    """A seed-derived (or replayed) decision tape for one run."""
+
+    def __init__(
+        self,
+        seed: int,
+        scenario: str = "",
+        decisions: Optional[Iterable[Decision]] = None,
+        frozen: bool = False,
+    ):
+        self.seed = seed
+        self.scenario = scenario
+        self.frozen = frozen
+        #: Realized non-default choices, in consultation order
+        #: (generate mode) or as loaded (replay mode).
+        self.decisions: list[Decision] = list(decisions or ())
+        self._tape: dict[tuple[str, int], int] = {
+            (d.site, d.hit): d.choice for d in self.decisions
+        }
+        self._hits: dict[str, int] = {}
+        #: Total choice points consulted (diagnostics).
+        self.consulted = 0
+
+    # -- choice points ---------------------------------------------------
+
+    def choose(self, site: str, n: int) -> int:
+        """The menu index for this site's next hit (0 = unperturbed)."""
+        if n < 1:
+            raise ValueError(f"empty menu at {site!r}")
+        hit = self._hits.get(site, 0)
+        self._hits[site] = hit + 1
+        self.consulted += 1
+        if self.frozen:
+            return min(self._tape.get((site, hit), 0), n - 1)
+        choice = stable_seed(self.seed, site, hit) % n
+        if choice:
+            decision = Decision(site, hit, choice)
+            self.decisions.append(decision)
+            self._tape[(site, hit)] = choice
+        return choice
+
+    def delay_us(self, site: str, base_us: float) -> float:
+        """A fuzzed extra delay: ``DELAY_STEPS[choice] * base_us``."""
+        return DELAY_STEPS[self.choose(site, len(DELAY_STEPS))] * base_us
+
+    def reset(self) -> None:
+        """Rewind hit counters so the plan can drive a fresh run.
+
+        Frozen plans keep their tape; generate-mode plans also forget
+        the realized decisions (they will be re-derived identically).
+        """
+        self._hits.clear()
+        self.consulted = 0
+        if not self.frozen:
+            self.decisions.clear()
+            self._tape.clear()
+
+    # -- derivation ------------------------------------------------------
+
+    def replay_plan(
+        self, decisions: Optional[Iterable[Decision]] = None
+    ) -> "SchedulePlan":
+        """A frozen plan replaying ``decisions`` (default: this tape).
+
+        The minimizer calls this with subsets of a failing tape; the
+        seed and scenario ride along as provenance.
+        """
+        source = self.decisions if decisions is None else decisions
+        return SchedulePlan(
+            seed=self.seed,
+            scenario=self.scenario,
+            decisions=source,
+            frozen=True,
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "frozen": self.frozen,
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchedulePlan":
+        if data.get("schema") != SCHEMA:
+            raise ValueError(f"not a {SCHEMA} plan: {data.get('schema')!r}")
+        return cls(
+            seed=int(data["seed"]),
+            scenario=str(data.get("scenario", "")),
+            decisions=[Decision.from_dict(d) for d in data["decisions"]],
+            frozen=bool(data.get("frozen", True)),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "SchedulePlan":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "replay" if self.frozen else "generate"
+        return (
+            f"SchedulePlan(seed={self.seed}, scenario={self.scenario!r}, "
+            f"{mode}, {len(self.decisions)} decision(s))"
+        )

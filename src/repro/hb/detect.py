@@ -61,6 +61,31 @@ class RaceFinding:
             f"    missing edge: {self.missing_edge}"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe rendering: both events, the overlapping range,
+        and the missing edge -- everything a replayed schedule file
+        needs to say what it reproduces."""
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "range": [self.range[0], self.range[1]],
+            "first": self.first.to_dict(),
+            "second": self.second.to_dict(),
+            "missing_edge": self.missing_edge,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RaceFinding":
+        lo, hi = data["range"]
+        return cls(
+            kind=str(data["kind"]),
+            target=str(data["target"]),
+            range=(int(lo), int(hi)),
+            first=HbEvent.from_dict(data["first"]),
+            second=HbEvent.from_dict(data["second"]),
+            missing_edge=str(data["missing_edge"]),
+        )
+
 
 def _overlap(
     a: tuple[int, int], b: tuple[int, int]

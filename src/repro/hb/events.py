@@ -264,6 +264,25 @@ class HbEvent:
             return f"cpu:{self.data.get('target')}"
         return f"qp:{self.data.get('qp')}"
 
+    def to_dict(self) -> dict:
+        """A JSON-safe rendering (payloads are primitives by design:
+        ids, addresses, labels -- nothing object-valued is emitted)."""
+        return {
+            "seq": self.seq,
+            "time_us": self.time_us,
+            "etype": self.etype,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HbEvent":
+        return cls(
+            seq=int(data["seq"]),
+            time_us=float(data["time_us"]),
+            etype=str(data["etype"]),
+            data=dict(data.get("data", {})),
+        )
+
     def describe(self) -> str:
         d = self.data
         bits = [f"#{self.seq}", f"t={self.time_us:.2f}us", f"hb.{self.etype}"]

@@ -26,7 +26,7 @@ flat RDX line.
 from __future__ import annotations
 
 import math
-import random
+from repro.sim.rand import derive_rng
 from dataclasses import dataclass, field
 
 from repro import params
@@ -81,7 +81,7 @@ class CacheModel:
         self.memory = memory
         self.line_bytes = line_bytes
         self.effective_lines = effective_lines
-        self._rng = random.Random(seed)
+        self._rng = derive_rng(seed, "mem.cache")
         self._lines: dict[int, _Line] = {}
         self.stats = CacheStats()
         self._cpki = cpki

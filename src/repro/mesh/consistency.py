@@ -9,7 +9,7 @@ the paper plots in Fig 2b.
 
 from __future__ import annotations
 
-import random
+from repro.sim.rand import derive_rng
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
@@ -48,7 +48,7 @@ class ConsistencyProbe:
         self.app = app
         self.sim = app.sim
         self.interval_us = interval_us
-        self._rng = random.Random(seed)
+        self._rng = derive_rng(seed, "mesh.consistency")
         self._observations: list[tuple[float, tuple[int, ...]]] = []
         self._proc = None
 

@@ -9,7 +9,7 @@ capacity from requests and vice versa -- the mutual contention of
 
 from __future__ import annotations
 
-import random
+from repro.sim.rand import derive_rng
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
@@ -98,7 +98,7 @@ class OpenLoopLoad:
         self.rate_per_s = rate_per_s
         self.hop_service_us = hop_service_us
         self.with_responses = with_responses
-        self._rng = random.Random(seed)
+        self._rng = derive_rng(seed, "mesh.workload")
         self.stats = RequestStats()
         self._running = False
 

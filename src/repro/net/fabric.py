@@ -21,6 +21,7 @@ from typing import Any, Optional
 
 from repro import params
 from repro.errors import HostUnreachable, ReproError
+from repro.fuzz import hooks as fuzz_hooks
 from repro.net.topology import Host
 from repro.obs import telemetry_of
 from repro.sim.core import Event, Simulator
@@ -154,9 +155,19 @@ class Fabric:
             yield self.sim.timeout(serialize_us)
         finally:
             egress.release(grant)
-        yield self.sim.timeout(
-            self.base_latency_us + self.extra_delay_us(message.src, message.dst)
+        propagation_us = self.base_latency_us + self.extra_delay_us(
+            message.src, message.dst
         )
+        if params.RDX_FUZZ:
+            # Schedule-fuzz choice point: stretch propagation after the
+            # egress port is released, so a later message from the same
+            # sender can arrive first -- in-fabric reorder, which RoCE
+            # permits across flows and the control plane must tolerate.
+            propagation_us += fuzz_hooks.perturb_us(
+                self.sim, f"fabric.delay:{message.src}",
+                params.RDX_FUZZ_NET_DELAY_US,
+            )
+        yield self.sim.timeout(propagation_us)
         # Reachability is evaluated at delivery time: a destination that
         # crashed (or a link that partitioned) while the bytes were in
         # flight eats the message.

@@ -134,6 +134,31 @@ RDX_HB_CHECK = os.environ.get("RDX_HB_CHECK", "0") not in (
     "0", "false", "no", "",
 )
 
+#: Master switch for schedule-fuzz perturbation (:mod:`repro.fuzz`).
+#: When on, the RNIC / fabric layers consult the simulator's installed
+#: :class:`~repro.fuzz.plan.SchedulePlan` at each stochastic choice
+#: point (WR service, completion delivery, message delay) and stretch
+#: the schedule accordingly.  A mutable module global like
+#: :data:`RDX_HB_CHECK` so the fuzz engine can flip it per iteration;
+#: the environment sets only the default (``RDX_FUZZ=1`` to enable).
+#: Off, the hooks cost one module-global read per WR.
+RDX_FUZZ = os.environ.get("RDX_FUZZ", "0") not in (
+    "0", "false", "no", "",
+)
+
+#: Base magnitude for fuzz-injected WR service/completion delays, us.
+#: Sized to a few RDMA RTTs: enough to push a WR past a sibling QP's
+#: whole operation (true service reorder), small enough that deploy
+#: deadlines and retry budgets never trip on a perturbed-but-correct
+#: schedule.
+RDX_FUZZ_WR_DELAY_US = 8.0
+
+#: Base magnitude for fuzz-injected fabric message delays, us.  Spans
+#: the gap between the RPC latency floor and the health-probe
+#: interval, so message reorder can invert control-message arrivals
+#: without manufacturing false lease expiries.
+RDX_FUZZ_NET_DELAY_US = 20.0
+
 #: Master switch for the agentless telemetry plane (:mod:`repro.obs`).
 #: When on (the default), sandboxes keep a seqlock-guarded telemetry
 #: segment up to date from the data path, deploy ops record causal

@@ -85,6 +85,13 @@ class QueuePair:
         self.pd = pd
         self.cq = cq
         self.qpn = next(_qp_numbers)
+        #: Creation ordinal *within this RNIC*.  Unlike ``qpn`` (a
+        #: process-global stream any earlier test may have advanced),
+        #: the ordinal is a pure function of the simulation's own
+        #: construction order -- the stable identity schedule-fuzz
+        #: decision tapes key on.
+        self.ordinal = rnic.qps_created
+        rnic.qps_created += 1
         self.state = QpState.RESET
         self.remote: Optional["QueuePair"] = None
         self.posted = 0
@@ -94,6 +101,11 @@ class QueuePair:
 
     def __repr__(self) -> str:
         return f"QP(qpn={self.qpn:#x}, state={self.state.value})"
+
+    def fuzz_site(self, stage: str) -> str:
+        """A stable schedule-fuzz site key for this QP's ``stage``
+        choice point, e.g. ``"rnic.service:h0.rnic.q1"``."""
+        return f"{stage}:{self.rnic.name}.q{self.ordinal}"
 
     def modify(self, state: QpState) -> None:
         """Advance the state machine, validating legal transitions."""

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro import params
 from repro.errors import ProtectionError, RdmaError
+from repro.fuzz import hooks as fuzz_hooks
 from repro.hb import events as hb
 from repro.mem.layout import pack_qword, unpack_qword
 from repro.net.topology import Host
@@ -48,6 +49,9 @@ class Rnic:
         self._pipeline = Resource(self.sim, capacity=4)
         self.wrs_processed = 0
         self.bytes_dma = 0
+        #: QPs created on this NIC so far; gives each QP a stable
+        #: per-RNIC ordinal for schedule-fuzz site keys.
+        self.qps_created = 0
         host.nic = self
         # Metric handles are resolved once and cached: the WR path is
         # the simulator's hottest loop, so per-op registry lookups are
@@ -75,6 +79,16 @@ class Rnic:
     def _process(self, qp: QueuePair, wr: WorkRequest, done: Event):
         grant = self._pipeline.request()
         yield grant
+        if params.RDX_FUZZ:
+            # Schedule-fuzz choice point: stall this WR *while holding
+            # its pipeline slot*, so WRs on sibling QPs overtake it --
+            # true service reorder, not just added latency.
+            extra = fuzz_hooks.perturb_us(
+                self.sim, qp.fuzz_site("rnic.service"),
+                params.RDX_FUZZ_WR_DELAY_US,
+            )
+            if extra:
+                yield self.sim.timeout(extra)
         bytes_before = self.bytes_dma
         try:
             if qp.state is QpState.ERROR:
@@ -88,6 +102,16 @@ class Rnic:
                 completion = yield from self._execute(qp, wr)
         finally:
             self._pipeline.release(grant)
+        if params.RDX_FUZZ:
+            # Choice point two: delay CQE delivery after the remote
+            # effect landed -- the window where "it completed" and "the
+            # initiator knows it completed" diverge.
+            extra = fuzz_hooks.perturb_us(
+                self.sim, qp.fuzz_site("rnic.complete"),
+                params.RDX_FUZZ_WR_DELAY_US,
+            )
+            if extra:
+                yield self.sim.timeout(extra)
         qp.completed += 1
         self.wrs_processed += 1
         self._m_verbs[wr.opcode].inc()
@@ -138,6 +162,15 @@ class Rnic:
     ):
         grant = self._pipeline.request()
         yield grant
+        if params.RDX_FUZZ:
+            # Chains perturb as one unit: the doorbell batch is a
+            # single schedulable entity (SQ FIFO inside it is fixed).
+            extra = fuzz_hooks.perturb_us(
+                self.sim, qp.fuzz_site("rnic.service"),
+                params.RDX_FUZZ_WR_DELAY_US,
+            )
+            if extra:
+                yield self.sim.timeout(extra)
         bytes_before = self.bytes_dma
         try:
             if qp.state is QpState.ERROR:
@@ -152,6 +185,13 @@ class Rnic:
                 completion = yield from self._execute_chain(qp, wrs, chain)
         finally:
             self._pipeline.release(grant)
+        if params.RDX_FUZZ:
+            extra = fuzz_hooks.perturb_us(
+                self.sim, qp.fuzz_site("rnic.complete"),
+                params.RDX_FUZZ_WR_DELAY_US,
+            )
+            if extra:
+                yield self.sim.timeout(extra)
         qp.completed += len(wrs)
         self.wrs_processed += len(wrs)
         self._m_verbs[wrs[0].opcode].inc(len(wrs))

@@ -379,7 +379,7 @@ class TestSchedules:
 
         # Reconciler-style reuse: scrub + rewrite the orphan's range
         # through its own QP while the hook pointer still references it.
-        scrubber = hb_schedules._second_sync(bed, sandbox)
+        scrubber = hb_schedules.sibling_sync(bed, sandbox)
         sim.spawn(
             scrubber.write(record.code_addr, b"\x00" * record.code_len),
             name="orphan-detach",
