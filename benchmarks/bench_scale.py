@@ -1,0 +1,183 @@
+"""Rack-scale fan-out: bubble windows vs N, and kernel events/sec.
+
+Two sweeps, both recorded in ``BENCH_SCALE.json``:
+
+* **Broadcast windows** -- one group update at each N under up to
+  three arms: ``flat`` (the PR-4 fan-out, the ablation baseline),
+  ``tree`` (relay fan-out, ``RDX_TREE_BROADCAST``), and ``sharded``
+  (tree fan-out split across ``RDX_BROADCAST_SHARDS`` control planes
+  with the cross-shard commit).  The acceptance shape is sublinear
+  window growth on the tree arm -- window(N=256) <= 4x window(N=16) --
+  while the flat arm grows ~linearly until the link cache overflows
+  and it falls off a cliff (re-validation inside the window).
+* **Kernel throughput** -- the pure sim-kernel stress at
+  ``RDX_SCALE_KERNEL_N`` nodes under the fast (``RDX_SIM_FAST``,
+  default) and legacy dispatch loops.  The fast arm elides grant and
+  timeout events, so raw events/sec undercounts it; the comparable
+  number is *normalized* throughput: the legacy arm's event count for
+  the same workload divided by each arm's wall time.  Wall clocks are
+  noisy, so each arm reports its best of ``RDX_SCALE_KERNEL_REPS``.
+
+Knobs (all env vars, CI's scale-smoke job shrinks the sweep):
+
+* ``RDX_SCALE_NS`` -- comma-separated broadcast sizes (default
+  ``16,64,256``);
+* ``RDX_SCALE_ARMS`` -- subset of ``tree,flat,sharded`` (default all);
+* ``RDX_SCALE_KERNEL_N`` -- kernel stress node count (default 1024;
+  0 skips the kernel sweep);
+* ``RDX_SCALE_KERNEL_REPS`` -- wall-clock reps per kernel arm
+  (default 3).
+"""
+
+import os
+
+from repro.exp.harness import format_table, write_bench_json
+from repro.exp.scale import broadcast_window, kernel_throughput
+
+#: Acceptance: tree window at N=256 within 4x the N=16 window.
+MAX_TREE_GROWTH = 4.0
+#: Acceptance: >= 2x normalized kernel events/sec at N=1024.
+MIN_KERNEL_RATIO = 2.0
+#: Shards on the sharded arm (matches RDX_BROADCAST_SHARDS' default).
+SHARDS = 4
+
+
+def _ints_from_env(name, default):
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return tuple(int(part) for part in value.split(",") if part.strip())
+
+
+def _arms_from_env():
+    value = os.environ.get("RDX_SCALE_ARMS")
+    if value is None:
+        return ("tree", "flat", "sharded")
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
+def _run_broadcast_sweep(ns, arms):
+    windows = {}
+    for arm in arms:
+        for n in ns:
+            if arm == "sharded" and n < SHARDS:
+                continue
+            windows[arm, n] = broadcast_window(
+                n,
+                tree=(arm != "flat"),
+                shards=SHARDS if arm == "sharded" else 1,
+            )
+    return windows
+
+
+def _run_kernel_sweep(kernel_n, reps):
+    """Best-of-``reps`` wall clocks per arm; returns per-arm rows plus
+    the normalized fast/legacy ratio."""
+    best = {}
+    for arm, fast in (("legacy", False), ("fast", True)):
+        results = [kernel_throughput(kernel_n, fast=fast) for _ in range(reps)]
+        best[arm] = max(results)  # (events/wall_sec, events)
+    legacy_tput, legacy_events = best["legacy"]
+    fast_tput, fast_events = best["fast"]
+    # Same workload, same sim end time; the fast arm just dispatches
+    # fewer bookkeeping events.  Normalize both arms to the legacy
+    # event count so the ratio measures wall time, not event elision.
+    fast_wall = fast_events / fast_tput
+    fast_norm = legacy_events / fast_wall
+    return {
+        "legacy": {"raw": legacy_tput, "norm": legacy_tput,
+                   "events": legacy_events},
+        "fast": {"raw": fast_tput, "norm": fast_norm, "events": fast_events},
+    }, fast_norm / legacy_tput
+
+
+def test_bench_scale(benchmark):
+    ns = _ints_from_env("RDX_SCALE_NS", (16, 64, 256))
+    arms = _arms_from_env()
+    kernel_n = _ints_from_env("RDX_SCALE_KERNEL_N", (1024,))[0]
+    reps = _ints_from_env("RDX_SCALE_KERNEL_REPS", (3,))[0]
+
+    windows = benchmark.pedantic(
+        _run_broadcast_sweep, kwargs={"ns": ns, "arms": arms},
+        rounds=1, iterations=1,
+    )
+    kernel, kernel_ratio = (None, None)
+    if kernel_n:
+        kernel, kernel_ratio = _run_kernel_sweep(kernel_n, reps)
+
+    table_rows = []
+    json_rows = []
+    for (arm, n), window in sorted(windows.items()):
+        table_rows.append((arm, f"N={n}", window))
+        json_rows.append(
+            {"metric": f"{arm}.bubble_window_us", "n": n,
+             "value": window, "unit": "us"}
+        )
+    if kernel is not None:
+        for arm in ("legacy", "fast"):
+            table_rows.append(
+                (f"kernel.{arm}", f"N={kernel_n}", kernel[arm]["norm"])
+            )
+            json_rows.append(
+                {"metric": f"kernel.{arm}.events_per_sec", "n": kernel_n,
+                 "value": kernel[arm]["norm"], "unit": "ev/s"}
+            )
+            json_rows.append(
+                {"metric": f"kernel.{arm}.events", "n": kernel_n,
+                 "value": kernel[arm]["events"], "unit": "count"}
+            )
+        json_rows.append(
+            {"metric": "ratio.kernel_events_per_sec", "n": kernel_n,
+             "value": kernel_ratio, "unit": "x"}
+        )
+
+    notes = []
+    tree_lo = windows.get(("tree", min(ns)))
+    tree_hi = windows.get(("tree", max(ns)))
+    if tree_lo and tree_hi:
+        growth = tree_hi / tree_lo
+        json_rows.append(
+            {"metric": "ratio.tree_window_growth", "n": max(ns),
+             "value": growth, "unit": "x"}
+        )
+        notes.append(
+            f"tree window N={max(ns)} vs N={min(ns)}: {growth:.2f}x "
+            f"(ceiling {MAX_TREE_GROWTH:.0f}x)"
+        )
+    if kernel_ratio is not None:
+        notes.append(
+            f"kernel {kernel_ratio:.2f}x normalized ev/s, fast vs legacy "
+            f"(floor {MIN_KERNEL_RATIO:.0f}x, best of {reps})"
+        )
+    path = write_bench_json("SCALE", json_rows)
+
+    print()
+    print(
+        format_table(
+            f"Rack-scale fan-out -- arms {', '.join(arms)}",
+            ["arm", "scale", "value"],
+            table_rows,
+            note="; ".join(notes),
+        )
+    )
+    print(f"results: {path}")
+
+    if tree_lo and tree_hi and max(ns) >= 4 * min(ns):
+        benchmark.extra_info["tree_window_growth"] = tree_hi / tree_lo
+        assert tree_hi <= MAX_TREE_GROWTH * tree_lo, (
+            f"tree window grew {tree_hi / tree_lo:.2f}x from N={min(ns)} "
+            f"to N={max(ns)} (ceiling {MAX_TREE_GROWTH:.0f}x)"
+        )
+        flat_lo = windows.get(("flat", min(ns)))
+        flat_hi = windows.get(("flat", max(ns)))
+        if flat_lo and flat_hi:
+            # The ablation: flat fan-out scales (at least) linearly,
+            # strictly worse than the tree at the same N.
+            assert flat_hi / flat_lo > tree_hi / tree_lo
+            assert flat_hi > tree_hi
+    if kernel_ratio is not None and kernel_n >= 1024:
+        benchmark.extra_info["kernel_ratio"] = kernel_ratio
+        assert kernel_ratio >= MIN_KERNEL_RATIO, (
+            f"kernel fast arm only {kernel_ratio:.2f}x the legacy arm "
+            f"(floor {MIN_KERNEL_RATIO:.0f}x)"
+        )

@@ -39,13 +39,18 @@ from repro.errors import (
     DeadlineExceeded,
     DeployError,
     HostUnreachable,
+    RdmaError,
     ReproError,
+    StaleEpochError,
 )
 from repro.ebpf.program import BpfProgram
 from repro.mem.layout import pack_qword
+from repro.obs import target_label
+from repro.rdma.verbs import connect_qps, open_device
 from repro.core.codeflow import CodeFlow
 from repro.core.health import HealthDetector, TargetHealth
 from repro.core.rollback import RollbackManager
+from repro.core.sync import RemoteSync
 
 
 @dataclass
@@ -108,18 +113,38 @@ class CodeFlowGroup:
         self.codeflows = list(codeflows)
         self.sim = codeflows[0].sim
         self.control_plane = codeflows[0].control_plane
+        #: Shard name this group's metrics aggregate under (empty for
+        #: a plain unsharded plane; see :mod:`repro.obs.cardinality`).
+        self.shard = getattr(self.control_plane, "shard", "")
+        #: (parent sandbox, child sandbox) -> relay RemoteSync, built
+        #: lazily the first time a tree broadcast routes that edge and
+        #: reused across broadcasts (QP setup is one-time state, like
+        #: the control plane's own QPs).
+        self._relay_syncs: dict[tuple[str, str], RemoteSync] = {}
+        #: target name -> image linked during the last Phase 0 -- the
+        #: chained WR payload a tree relay forwards verbatim, so a
+        #: relayed leg never touches the control plane's CPU or QPs.
+        self._prelinked: dict[str, object] = {}
 
     def __len__(self) -> int:
         return len(self.codeflows)
 
     # -- bubble control -------------------------------------------------------
 
-    def _set_bubble(self, codeflow: CodeFlow, value: int) -> Generator:
+    def _set_bubble(
+        self, codeflow: CodeFlow, value: int, sync: Optional[RemoteSync] = None
+    ) -> Generator:
+        sync = sync or codeflow.sync
         addr = codeflow.sandbox.bubble_addr
-        yield from codeflow.sync.write(addr, pack_qword(value))
-        yield from codeflow.sync.cc_event(addr, 8)
+        yield from sync.write(addr, pack_qword(value))
+        yield from sync.cc_event(addr, 8)
 
-    def _lower_bubble(self, codeflow: CodeFlow, flushes: list) -> Generator:
+    def _lower_bubble(
+        self,
+        codeflow: CodeFlow,
+        flushes: list,
+        sync: Optional[RemoteSync] = None,
+    ) -> Generator:
         """Drop one bubble, pipelining the flush on the fast path.
 
         Raising a bubble must flush *synchronously* -- a data path
@@ -132,42 +157,94 @@ class CodeFlowGroup:
         target's lower goes out.  The serial path keeps the blocking
         write + flush pair.
         """
+        sync = sync or codeflow.sync
         if not params.RDX_PIPELINED_DEPLOY:
-            yield from self._set_bubble(codeflow, 0)
+            yield from self._set_bubble(codeflow, 0, sync=sync)
             return
         addr = codeflow.sandbox.bubble_addr
         doorbell = codeflow.sandbox.control_addr + 24  # OFF_DOORBELL
-        yield from codeflow.sync.write_batch(
+        yield from sync.write_batch(
             [(addr, pack_qword(0)), (doorbell, pack_qword(1))]
         )
         flushes.append(
             self.sim.spawn(
-                self._flush_bubble(codeflow, addr),
+                self._flush_bubble(codeflow, addr, sync),
                 name=f"bubble-flush:{codeflow.sandbox.name}",
             )
         )
 
-    def _lower_leg(self, codeflow: CodeFlow, flushes: list, obs) -> Generator:
+    def _raise_bubble(
+        self, codeflow: CodeFlow, sync: Optional[RemoteSync] = None
+    ) -> Generator:
+        """Raise one bubble with the flush doorbell *chained* into the
+        raising write's WR list.
+
+        Raising still flushes synchronously -- this generator does not
+        return until the flush effect has landed, so no deploy write
+        can overtake a half-raised bubble.  What the chain buys is WR
+        accounting: the fire-and-forget doorbell ``cc_event`` posts
+        would otherwise still be sitting in the control RNIC pipeline
+        when the raise barrier completes -- N orphan doorbells
+        draining capacity-at-a-time *ahead of the first deploy
+        chains*, an O(N) serial term inside the very window this
+        phase exists to shrink.  Chaining write+doorbell (one
+        doorbell, one CQE) retires both before the barrier does.
+        """
+        sync = sync or codeflow.sync
+        if not params.RDX_PIPELINED_DEPLOY:
+            yield from self._set_bubble(codeflow, 1, sync=sync)
+            return
+        addr = codeflow.sandbox.bubble_addr
+        doorbell = codeflow.sandbox.control_addr + 24  # OFF_DOORBELL
+        yield from sync.write_batch(
+            [(addr, pack_qword(1)), (doorbell, pack_qword(1))]
+        )
+        yield from self._flush_bubble(codeflow, addr, sync, waited=True)
+
+    def _lower_leg(
+        self,
+        codeflow: CodeFlow,
+        flushes: list,
+        obs,
+        sync: Optional[RemoteSync] = None,
+    ) -> Generator:
         """One lowering, failure-isolated: a target whose lower fails
         (unreachable, flaky) is counted, never fatal -- and when the
-        lowers run concurrently, never strands a sibling."""
+        lowers run concurrently, never strands a sibling.  A *relayed*
+        lower (``sync`` riding a tree parent's QP) that fails retries
+        once directly from the control plane before being counted --
+        a crashed relay must never leave its subtree buffering."""
         try:
-            yield from self._lower_bubble(codeflow, flushes)
+            if sync is None:
+                yield from self._lower_bubble(codeflow, flushes)
+            else:
+                yield from self._lower_bubble(codeflow, flushes, sync=sync)
         except ReproError:
+            if sync is not None and sync is not codeflow.sync:
+                self._relay_fallback(codeflow, "lower", obs)
+                yield from self._lower_leg(codeflow, flushes, obs)
+                return
             obs.counter(
                 "rdx.broadcast.bubble_lower_failed",
-                target=codeflow.sandbox.name,
+                target=target_label(codeflow.sandbox.name, self.shard),
             ).inc()
 
-    def _flush_bubble(self, codeflow: CodeFlow, addr: int) -> Generator:
-        """The deferred effect of the chained flush doorbell.
+    def _flush_bubble(
+        self, codeflow: CodeFlow, addr: int, sync: RemoteSync,
+        waited: bool = False,
+    ) -> Generator:
+        """The effect of an already-chained flush doorbell.
 
-        The doorbell WR already landed with the lowering write; the
+        The doorbell WR already landed with the bubble write; the
         event hook executes the flush ~RDX_CC_EVENT_US later.  The
         fault hook is still consulted so DROPPED_FLUSH faults bite
-        this path exactly like the blocking one.
+        this path exactly like the blocking one.  ``sync`` is the QP
+        that posted the doorbell -- the codeflow's own, or a tree
+        relay's -- so hb attribution follows the bytes.  ``waited``
+        marks the flush as a QP ordering point for the hb graph: True
+        on the raise path (the raise barrier blocks on this effect),
+        False on the deferred lowering path, which must order nothing.
         """
-        sync = codeflow.sync
         _, dropped, _ = sync._consult_hook("cc_event", addr, None)
         if params.RDX_HB_CHECK and not dropped:
             hb.emit(
@@ -184,6 +261,7 @@ class CodeFlowGroup:
                     self.sim, "hb.flush",
                     qp=sync.qp.qpn, node=sync.qp.rnic.host.name,
                     target=codeflow.sandbox.host.name, addr=addr, length=8,
+                    waited=waited,
                 )
 
     def _prepare_leg(
@@ -205,9 +283,14 @@ class CodeFlowGroup:
             # rewriting *and* the stub rendezvous.  Best-effort -- a
             # link error here re-surfaces inside the leg, where the
             # per-target failure machinery owns it.
-            yield from codeflow.link_code(entry.binary, parent_span=span)
+            linked = yield from codeflow.link_code(entry.binary, parent_span=span)
         except ReproError:
             pass
+        else:
+            # Stash the linked image for tree relays: a relayed leg
+            # forwards exactly these bytes (the chained WR list) from
+            # the parent sandbox, never re-linking on the control CPU.
+            self._prelinked[codeflow.sandbox.name] = linked
 
     # -- rdx_broadcast -----------------------------------------------------------
 
@@ -223,6 +306,7 @@ class CodeFlowGroup:
         health: Optional[HealthDetector] = None,
         record_intent: bool = True,
         tenant: str = "",
+        coordinator=None,
     ) -> Generator:
         """Deploy ``programs[i]`` to ``codeflows[i]`` transactionally.
 
@@ -250,6 +334,16 @@ class CodeFlowGroup:
         journals the whole broadcast as one WAL transaction (INTEND
         before any bubble rises, COMMIT listing exactly the legs that
         kept the new logic).
+
+        With :data:`repro.params.RDX_TREE_BROADCAST` set, the deploy
+        and (unordered) lower phases run as a configurable-degree
+        fan-out tree: already-updated sandboxes relay the chained WR
+        list to their children, so the bubble window grows ~O(log N)
+        instead of serializing N legs through the control RNIC.  A
+        ``coordinator`` (see :class:`repro.core.shard.ShardCoordinator`)
+        makes this group one shard of a larger cross-shard transaction:
+        bubbles are held until every shard votes, and a sibling shard's
+        failure aborts this shard's clean legs too.
         """
         if len(programs) != len(self.codeflows):
             raise DeployError(
@@ -294,7 +388,7 @@ class CodeFlowGroup:
             result = yield from self._broadcast_body(
                 programs, hook_name, order, dependency_order is not None,
                 use_bbu, verify, allow_partial, deadline_us, health, result,
-                txn, tenant,
+                txn, tenant, coordinator,
             )
         except BaseException as err:
             # A crashed incarnation records nothing: the dangling INTEND
@@ -318,6 +412,7 @@ class CodeFlowGroup:
     def _broadcast_body(
         self, programs, hook_name, order, ordered, use_bbu, verify,
         allow_partial, deadline_us, health, result, txn, tenant="",
+        coordinator=None,
     ) -> Generator:
         plane = self.control_plane
         obs = self.control_plane.obs
@@ -369,7 +464,8 @@ class CodeFlowGroup:
                         )
                     )
                     obs.counter(
-                        "rdx.broadcast.lease_skips", target=outcome.target
+                        "rdx.broadcast.lease_skips",
+                        target=target_label(outcome.target, self.shard),
                     ).inc()
 
             # Phase 1: raise every bubble in parallel.  A target whose
@@ -398,19 +494,52 @@ class CodeFlowGroup:
             # target's requests forever -- the §2.2 agent-lockout
             # pathology BBU exists to avoid.
             try:
-                deploys = [
-                    self.sim.spawn(
-                        self._target_leg(
-                            cf, prog, outcome, hook_name, span, verify,
-                            deadline_us, obs, fenced=use_bbu,
-                        ),
-                        name=f"deploy:{outcome.target}",
-                    )
-                    for cf, prog, outcome in zip(
-                        self.codeflows, programs, result.outcomes
-                    )
+                active = [
+                    index
+                    for index, outcome in enumerate(result.outcomes)
                     if not outcome.error
                 ]
+                tree = (
+                    params.RDX_TREE_BROADCAST
+                    and params.RDX_PIPELINED_DEPLOY
+                    and len(active) > 1
+                )
+                if tree:
+                    # Fan-out tree: the control plane seeds the first
+                    # ``degree`` targets; each updated sandbox then
+                    # relays the chained WR list to its children, so
+                    # depth -- and the bubble window -- grows with
+                    # log(N) instead of N/pipeline.
+                    ready = [self.sim.event() for _ in active]
+                    for pos in range(
+                        min(max(1, params.RDX_TREE_DEGREE), len(active))
+                    ):
+                        ready[pos].succeed((None, ""))
+                    deploys = [
+                        self.sim.spawn(
+                            self._tree_leg(
+                                pos, active, ready, programs, result,
+                                hook_name, span, verify, deadline_us, obs,
+                                fenced=use_bbu,
+                            ),
+                            name=f"deploy:{result.outcomes[active[pos]].target}",
+                        )
+                        for pos in range(len(active))
+                    ]
+                else:
+                    deploys = [
+                        self.sim.spawn(
+                            self._target_leg(
+                                cf, prog, outcome, hook_name, span, verify,
+                                deadline_us, obs, fenced=use_bbu,
+                            ),
+                            name=f"deploy:{outcome.target}",
+                        )
+                        for cf, prog, outcome in zip(
+                            self.codeflows, programs, result.outcomes
+                        )
+                        if not outcome.error
+                    ]
                 if deploys:
                     yield self.sim.all_of(deploys)
                 result.deploys_done_us = self.sim.now
@@ -423,7 +552,25 @@ class CodeFlowGroup:
                 ]
 
                 failures = result.failed_targets
-                if failures:
+                if coordinator is not None:
+                    # Cross-shard 2PC: report this shard's tally and
+                    # hold every bubble until the coordinator's
+                    # verdict.  All-or-nothing must span shards -- a
+                    # shard whose legs are all clean still rolls back
+                    # when a sibling shard failed.
+                    decision = yield from coordinator.vote(
+                        self.shard or "shard0",
+                        ok=[o.target for o in result.outcomes if o.ok],
+                        failed=[o.target for o in failures],
+                    )
+                    if txn is not None:
+                        plane.journal.phase(txn, f"decided-{decision}")
+                    if decision == "abort":
+                        yield from self._abort(programs, result, obs)
+                    elif failures:
+                        result.degraded = True
+                        obs.counter("rdx.broadcast.degraded").inc()
+                elif failures:
                     survivors = [o for o in result.outcomes if o.ok]
                     if allow_partial and survivors:
                         result.degraded = True
@@ -457,17 +604,31 @@ class CodeFlowGroup:
                         # dependency_order always lowers sequentially
                         # (a caller's bubble only drops once its
                         # callees confirm new logic).
-                        lowers = [
-                            self.sim.spawn(
-                                self._lower_leg(
-                                    self.codeflows[index], flushes, obs
-                                ),
-                                name=f"lower:{result.outcomes[index].target}",
+                        if (
+                            params.RDX_TREE_BROADCAST
+                            and len(lowerable) > 1
+                        ):
+                            # Tree-relayed lowers: linear lowers
+                            # through the control RNIC would hand the
+                            # window right back its O(N) term.
+                            yield from self._tree_lowers(
+                                lowerable, flushes, obs
                             )
-                            for index in lowerable
-                        ]
-                        if lowers:
-                            yield self.sim.all_of(lowers)
+                        else:
+                            lowers = [
+                                self.sim.spawn(
+                                    self._lower_leg(
+                                        self.codeflows[index], flushes, obs
+                                    ),
+                                    name=(
+                                        f"lower:"
+                                        f"{result.outcomes[index].target}"
+                                    ),
+                                )
+                                for index in lowerable
+                            ]
+                            if lowers:
+                                yield self.sim.all_of(lowers)
                     else:
                         for index in lowerable:
                             yield from self._lower_leg(
@@ -489,11 +650,19 @@ class CodeFlowGroup:
         )
         if result.aborted:
             failures = result.failed_targets
-            first = failures[0]
+            if failures:
+                first = failures[0]
+                detail = (
+                    f"(first: {first.target}: "
+                    f"{first.error_kind}: {first.error})"
+                )
+            else:
+                # Every local leg was clean; the coordinator aborted
+                # on a sibling shard's behalf.
+                detail = "(cross-shard abort: a sibling shard failed)"
             raise BroadcastAborted(
                 f"broadcast aborted: {len(failures)}/{result.group_size} "
-                f"targets failed (first: {first.target}: "
-                f"{first.error_kind}: {first.error})",
+                f"targets failed {detail}",
                 result=result,
             )
         return result
@@ -508,7 +677,7 @@ class CodeFlowGroup:
         the no-BBU path is fenced by ``_deploy_body`` instead."""
         try:
             yield from codeflow.check_fence()
-            yield from self._set_bubble(codeflow, 1)
+            yield from self._raise_bubble(codeflow)
         except ReproError as err:
             outcome.fail(err)
             obs.counter(
@@ -543,18 +712,77 @@ class CodeFlowGroup:
             ).inc()
 
     def _deploy_target(
-        self, codeflow, program, hook_name, span, verify, fenced=False
+        self, codeflow, program, hook_name, span, verify, fenced=False,
+        relay_from=None,
     ) -> Generator:
         obs = self.control_plane.obs
+        relay_name = relay_from.sandbox.name if relay_from is not None else ""
         with obs.span(
             "rdx.broadcast.target", parent=span,
             target=codeflow.sandbox.name, program=program.name,
+            relay=relay_name,
         ) as child:
-            report = yield from self.control_plane.inject(
-                codeflow, program, hook_name, parent_span=child,
-                record_intent=False,  # the broadcast txn owns the WAL entry
-                fenced=fenced,  # _guarded_bubble fenced this leg already
-            )
+            report = None
+            if relay_from is not None:
+                linked = self._prelinked.get(codeflow.sandbox.name)
+                if linked is None:
+                    # Phase 0 never produced an image to forward (link
+                    # error re-surfacing); only the control plane can
+                    # serve this leg.
+                    self._relay_fallback(codeflow, "no-prelink", obs)
+                elif not relay_from.sandbox.host.crashed:
+                    try:
+                        report = yield from self._relay_deploy(
+                            relay_from, codeflow, program, linked,
+                            hook_name, child, verify,
+                        )
+                    except RdmaError as err:
+                        # The relay *path* is broken (crashed parent
+                        # host, dead link): direct delivery from the
+                        # shard still owes this target its update.
+                        # Deploy-semantics failures (CAS conflict,
+                        # CRC-failed verify, stale epoch) propagate --
+                        # they would fail identically on any path.
+                        self._relay_fallback(
+                            codeflow, type(err).__name__, obs
+                        )
+                else:
+                    self._relay_fallback(codeflow, "relay-crashed", obs)
+            if report is None:
+                linked = (
+                    self._prelinked.get(codeflow.sandbox.name)
+                    if params.RDX_TREE_BROADCAST
+                    else None
+                )
+                if linked is not None:
+                    # Tree mode, direct leg (root or relay fallback):
+                    # deploy the Phase-0 image as-is.  Re-running
+                    # ``inject`` here would repeat validate/JIT/link
+                    # *inside* the bubble window whenever the prepare
+                    # caches overflow (N > cache capacity) -- the
+                    # window must only move bytes.
+                    self.control_plane._check_alive()
+                    if not fenced:
+                        yield from codeflow.check_fence()
+                    report = yield from codeflow.deploy_prog(
+                        program, linked, hook_name, parent_span=child,
+                        fenced=True,
+                    )
+                else:
+                    report = yield from self.control_plane.inject(
+                        codeflow, program, hook_name, parent_span=child,
+                        record_intent=False,  # broadcast txn owns the WAL entry
+                        fenced=fenced,  # _guarded_bubble fenced this leg already
+                    )
+                if verify:
+                    try:
+                        yield from self._verify_image(codeflow, program)
+                    except ConsistencyError:
+                        # The hook flip already committed onto a corrupt
+                        # image -- undo *this* target immediately (the
+                        # abort path only reverts legs that succeeded).
+                        yield from self._undo(codeflow, program)
+                        raise
             # Delta eligibility is decided per target: each leg holds
             # its own baseline (or none -- fresh targets, post-reboot
             # targets, and diverged layouts all fall back to full), so
@@ -562,19 +790,199 @@ class CodeFlowGroup:
             obs.counter(
                 "rdx.broadcast.legs",
                 mode=report.mode,
-                target=codeflow.sandbox.name,
+                target=target_label(codeflow.sandbox.name, self.shard),
             ).inc()
             child.attrs["mode"] = report.mode
+        return report
+
+    # -- tree fan-out (rack scale) --------------------------------------------
+
+    def _tree_children(self, pos: int, size: int) -> range:
+        """Positions relayed by tree position ``pos``.
+
+        The tree is the d-ary forest over the active-leg list: the
+        first ``degree`` positions are roots (seeded directly by the
+        control plane), and position ``p`` relays to positions
+        ``[(p+1)*d, (p+2)*d)`` -- depth ceil(log_d N) with every
+        parent fanning out to at most ``d`` children, which is exactly
+        what one sandbox host's RNIC pipeline absorbs in parallel.
+        """
+        degree = max(1, params.RDX_TREE_DEGREE)
+        first = (pos + 1) * degree
+        return range(first, min(first + degree, size))
+
+    def _tree_leg(
+        self, pos, active, ready, programs, result, hook_name, span,
+        verify, deadline_us, obs, fenced=False,
+    ) -> Generator:
+        """One tree node: wait for a parent, deploy, relay to children.
+
+        ``ready[pos]`` fires with ``(parent_codeflow, fallback_reason)``
+        -- parent None means direct delivery from the control plane
+        (roots, or children of a leg that failed mid-fanout: a crashed
+        relay's whole subtree falls back to the shard rather than
+        being stranded).  The per-leg deadline starts when the leg is
+        unblocked, so tree depth never eats into a leg's budget.
+        """
+        index = active[pos]
+        codeflow = self.codeflows[index]
+        outcome = result.outcomes[index]
+        program = programs[index]
+        parent_cf, fallback_reason = yield ready[pos]
+        if fallback_reason:
+            self._relay_fallback(codeflow, fallback_reason, obs)
+        try:
+            inner = self.sim.spawn(
+                self._deploy_target(
+                    codeflow, program, hook_name, span, verify, fenced,
+                    relay_from=parent_cf,
+                ),
+                name=f"inject:{outcome.target}",
+            )
+            timer = self.sim.timeout(deadline_us)
+            yield self.sim.any_of([inner, timer])
+            if not inner.triggered:
+                inner.interrupt("broadcast deadline expired")
+                raise DeadlineExceeded(
+                    f"{outcome.target}: deploy leg exceeded {deadline_us}us"
+                )
+            outcome.report = inner.value
+            outcome.ok = True
+        except ReproError as err:
+            outcome.fail(err)
+            obs.counter(
+                "rdx.broadcast.target_failures", kind=type(err).__name__
+            ).inc()
+        finally:
+            # Unblock the subtree either way: children relay through
+            # this target when its image committed, and fall back to
+            # the control plane when it did not.
+            relay = codeflow if outcome.ok else None
+            reason = "" if outcome.ok else "parent-failed"
+            for child in self._tree_children(pos, len(active)):
+                ready[child].succeed((relay, reason))
+
+    def _tree_lowers(self, lowerable, flushes, obs) -> Generator:
+        """Drop bubbles down the same-shaped tree the deploys used.
+
+        Each position's lowering chain rides its tree parent's QP
+        (relay syncs are already warm from the deploy phase); roots
+        lower directly from the control plane.  Failure isolation per
+        leg is unchanged -- and a failed *relayed* lower retries
+        directly before being counted.
+        """
+        ready = [self.sim.event() for _ in lowerable]
+        for pos in range(min(max(1, params.RDX_TREE_DEGREE), len(lowerable))):
+            ready[pos].succeed(None)
+        legs = [
+            self.sim.spawn(
+                self._tree_lower_leg(pos, lowerable, ready, flushes, obs),
+                name=f"lower:{self.codeflows[lowerable[pos]].sandbox.name}",
+            )
+            for pos in range(len(lowerable))
+        ]
+        if legs:
+            yield self.sim.all_of(legs)
+
+    def _tree_lower_leg(self, pos, lowerable, ready, flushes, obs) -> Generator:
+        codeflow = self.codeflows[lowerable[pos]]
+        parent_cf = yield ready[pos]
+        sync = None
+        if parent_cf is not None and not parent_cf.sandbox.host.crashed:
+            sync = self._relay_sync(parent_cf, codeflow)
+        try:
+            yield from self._lower_leg(codeflow, flushes, obs, sync=sync)
+        finally:
+            # Children keep relaying through this target -- its QP
+            # fan-out is what spreads the lowering load -- even if its
+            # own lower was counted as failed.
+            for child in self._tree_children(pos, len(lowerable)):
+                ready[child].succeed(codeflow)
+
+    def _relay_sync(self, parent: CodeFlow, codeflow: CodeFlow) -> RemoteSync:
+        """The RemoteSync carrying ``parent`` host -> ``codeflow`` target.
+
+        Built lazily (QP pair wired parent-host-side, like any
+        initiator), then cached for the life of the group.  Epoch and
+        fault hook are refreshed per use: fencing and armed faults
+        must bite relayed ops exactly as they bite the direct path.
+        """
+        from repro.core.control_plane import _pd_of
+
+        key = (parent.sandbox.name, codeflow.sandbox.name)
+        sync = self._relay_syncs.get(key)
+        if sync is None:
+            parent_ctx = open_device(parent.sandbox.host)
+            local_qp = parent_ctx.create_qp(
+                parent_ctx.alloc_pd(), parent_ctx.create_cq()
+            )
+            target_ctx = open_device(codeflow.sandbox.host)
+            target_qp = target_ctx.create_qp(
+                _pd_of(codeflow.sandbox), target_ctx.create_cq()
+            )
+            connect_qps(local_qp, target_qp)
+            sync = RemoteSync(
+                self.sim, local_qp, codeflow.manifest.rkey,
+                codeflow.sandbox, retry=codeflow.sync.retry,
+            )
+            self._relay_syncs[key] = sync
+        sync.hb_epoch = codeflow.sync.hb_epoch
+        sync.fault_hook = codeflow.sync.fault_hook
+        sync.retry = codeflow.sync.retry
+        if params.RDX_HB_CHECK:
+            # The relay command (forwarded WR chain / lowering order)
+            # is a wire message from the control plane: it carries a
+            # happens-before edge from whatever the control plane had
+            # already confirmed on this target's QP to everything the
+            # relay posts next.
+            hb.emit_handoff(self.sim, codeflow.sync.qp, sync.qp)
+        return sync
+
+    def _relay_deploy(
+        self, parent, codeflow, program, linked, hook_name, span, verify
+    ) -> Generator:
+        """Deploy one leg *through* an already-updated sandbox.
+
+        The parent's host forwards the pre-linked chained WR list
+        (image chunks + descriptor + commit CAS) over a relay QP; the
+        control plane's CPU and RNIC are never touched.  The leg is
+        fenced in its own right -- the 8-byte epoch read rides the
+        relay QP, so a target owned by a newer incarnation refuses
+        relayed bytes exactly as it refuses direct ones
+        (:class:`~repro.errors.StaleEpochError`, never retried).
+        """
+        sync = self._relay_sync(parent, codeflow)
+        saved_sync = codeflow.sync
+        codeflow.sync = sync
+        codeflow.dispatch_cpu = parent.sandbox.host.cpu
+        try:
+            yield from codeflow.check_fence()
+            report = yield from codeflow.deploy_prog(
+                program, linked, hook_name, parent_span=span, fenced=True,
+            )
             if verify:
                 try:
                     yield from self._verify_image(codeflow, program)
                 except ConsistencyError:
-                    # The hook flip already committed onto a corrupt
-                    # image -- undo *this* target immediately (the
-                    # abort path only reverts legs that succeeded).
                     yield from self._undo(codeflow, program)
                     raise
+        finally:
+            codeflow.sync = saved_sync
+            codeflow.dispatch_cpu = None
+            if params.RDX_HB_CHECK:
+                # The leg's status report (success or failure) is the
+                # return wire message: the control plane only acts on
+                # the outcome -- undo, fallback, commit -- after the
+                # relay told it what landed.
+                hb.emit_handoff(self.sim, sync.qp, saved_sync.qp)
         return report
+
+    def _relay_fallback(self, codeflow, reason: str, obs) -> None:
+        obs.counter(
+            "rdx.broadcast.relay_fallback",
+            target=target_label(codeflow.sandbox.name, self.shard),
+            reason=reason,
+        ).inc()
 
     def _verify_image(self, codeflow, program) -> Generator:
         """Read the installed image back and check its trailing CRC.
@@ -590,7 +998,8 @@ class CodeFlowGroup:
         stored = int.from_bytes(image[-4:], "little")
         if zlib.crc32(image[:-4]) & 0xFFFFFFFF != stored:
             self.control_plane.obs.counter(
-                "rdx.broadcast.verify_failed", target=codeflow.sandbox.name
+                "rdx.broadcast.verify_failed",
+                target=target_label(codeflow.sandbox.name, self.shard),
             ).inc()
             raise ConsistencyError(
                 f"{program.name} on {codeflow.sandbox.name}: image CRC "
@@ -637,7 +1046,8 @@ class CodeFlowGroup:
                 outcome.detached = not had_history
             except ReproError as err:
                 obs.counter(
-                    "rdx.broadcast.abort_failed", target=outcome.target
+                    "rdx.broadcast.abort_failed",
+                    target=target_label(outcome.target, self.shard),
                 ).inc()
                 outcome.error = f"abort undo failed: {err}"
         result.abort_us = self.sim.now - started

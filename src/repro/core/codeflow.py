@@ -21,7 +21,7 @@ from repro.ebpf.jit import JitBinary, RelocKind
 from repro.ebpf.maps import BpfMap
 from repro.ebpf.program import BpfProgram
 from repro.mem.memory import RegionAllocator
-from repro.obs import telemetry_of
+from repro.obs import target_label, telemetry_of
 from repro.rdma.rnic import RNIC_MTU_BYTES
 from repro.obs.spans import Span
 from repro.sandbox.metadata import MetadataBlock, SLOT_DETACHED, SLOT_LIVE
@@ -196,6 +196,11 @@ class CodeFlow:
         #: set by :meth:`stamp_epoch` during rdx_create_codeflow.
         self.epoch = 0
         self.closed = False
+        #: CPU pool that pays deploy dispatch cost.  None means the
+        #: control plane's own cores; a tree-broadcast relay points it
+        #: at the relaying sandbox's host while the relayed leg runs,
+        #: so rack-scale fan-out does not serialize on one host's CPU.
+        self.dispatch_cpu = None
         #: ((local verbs ctx, local qp), (target verbs ctx, target qp)),
         #: populated by the control plane for teardown.
         self._qp_pair: tuple = ()
@@ -240,7 +245,12 @@ class CodeFlow:
             self._fenced(current)
 
     def _fenced(self, remote_epoch: int) -> None:
-        self.obs.counter("rdx.epoch.fenced", target=self.sandbox.name).inc()
+        self.obs.counter(
+            "rdx.epoch.fenced",
+            target=target_label(
+                self.sandbox.name, self.control_plane.shard
+            ),
+        ).inc()
         raise StaleEpochError(
             f"{self.sandbox.name}: target epoch {remote_epoch} supersedes "
             f"ours ({self.epoch}); this control plane has been fenced"
@@ -421,9 +431,11 @@ class CodeFlow:
         yield from self.check_fence()
 
         # Dispatch: registry lookup, WQE prep, completion polling --
-        # control-plane CPU only.
+        # initiator CPU only (the control plane, or a relaying host).
         mark = self.sim.now
-        yield from self.control_plane.host.cpu.run(params.RDX_DISPATCH_US)
+        yield from (
+            self.dispatch_cpu or self.control_plane.host.cpu
+        ).run(params.RDX_DISPATCH_US)
         yield self.sim.timeout(params.RDX_STUB_RENDEZVOUS_US)
         report.dispatch_us = self.sim.now - mark
 
@@ -535,7 +547,9 @@ class CodeFlow:
             yield from self.check_fence()
 
         mark = self.sim.now
-        yield from self.control_plane.host.cpu.run(params.RDX_DISPATCH_FAST_US)
+        yield from (
+            self.dispatch_cpu or self.control_plane.host.cpu
+        ).run(params.RDX_DISPATCH_FAST_US)
         if not self._last_link_cached:
             yield self.sim.timeout(params.RDX_STUB_RENDEZVOUS_US)
         report.dispatch_us = self.sim.now - mark
@@ -691,7 +705,9 @@ class CodeFlow:
             yield from self.check_fence()
 
         mark = self.sim.now
-        yield from self.control_plane.host.cpu.run(params.RDX_DISPATCH_FAST_US)
+        yield from (
+            self.dispatch_cpu or self.control_plane.host.cpu
+        ).run(params.RDX_DISPATCH_FAST_US)
         if not self._last_link_cached:
             yield self.sim.timeout(params.RDX_STUB_RENDEZVOUS_US)
         report.dispatch_us = self.sim.now - mark
@@ -933,7 +949,9 @@ class CodeFlow:
         # can first observe the new pointer.
         self.obs.histogram(
             "rdx.deploy.install_visible_us",
-            target=self.sandbox.name,
+            target=target_label(
+                self.sandbox.name, self.control_plane.shard
+            ),
             tenant=self.tenant,
         ).observe(report.total_us)
         self.obs.histogram(

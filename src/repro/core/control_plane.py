@@ -25,7 +25,7 @@ from repro.ebpf.maps import BpfMap
 from repro.ebpf.program import BpfProgram
 from repro.ebpf.verifier import MapGeometry, VerifierStats, verify
 from repro.net.topology import Host
-from repro.obs import telemetry_of
+from repro.obs import drop_target_series, telemetry_of
 from repro.obs.spans import Span
 from repro.rdma.mr import AccessFlags
 from repro.rdma.verbs import connect_qps, open_device
@@ -59,9 +59,15 @@ class RdxControlPlane:
         trace: Optional[TraceRecorder] = None,
         retry: Optional[RetryPolicy] = None,
         journal: Optional[IntentJournal] = None,
+        shard: str = "",
     ):
         self.host = host
         self.sim = host.sim
+        #: Shard name when this plane owns one partition of a larger
+        #: group (see :mod:`repro.core.shard`); also the aggregation
+        #: key metric sites collapse per-target labels to when
+        #: :data:`repro.params.RDX_OBS_TARGET_LABELS` is off.
+        self.shard = shard
         self.policy = policy or SecurityPolicy.permissive()
         self.trace = trace or TraceRecorder(enabled=False)
         #: Durable intent journal (WAL).  Pass a prior incarnation's
@@ -465,6 +471,11 @@ class RdxControlPlane:
             )
         codeflow.close()
         self.codeflows.remove(codeflow)
+        # Retire the target's metric series with its handle: a
+        # long-lived plane churning through targets must not
+        # accumulate dead per-target series (no-op when per-target
+        # labels are aggregated away -- nothing was ever emitted).
+        drop_target_series(self.obs.registry, codeflow.sandbox.name)
         self.trace.record(
             self.sim.now, "rdx.codeflow.closed", target=codeflow.sandbox.name
         )

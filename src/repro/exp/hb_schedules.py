@@ -26,6 +26,12 @@ so CI can gate on it:
 * ``delta-stale-baseline`` -- after a warm reboot and re-provision, a
   stale delta engine patches the extent it recorded as the dormant
   baseline -- which the fresh deploy now runs live.
+* ``relay-commit-before-body`` -- the tree-broadcast variant of the
+  completion fallacy: a relay forwards the image body over its own QP
+  while the control plane, trusting the handoff alone, posts the
+  commit CAS directly -- without the relay's status report there is
+  no edge ordering the commit after the forwarded chunks, so the hook
+  can flip onto bytes still in flight.
 * ``clean-deploy`` -- the control: inject, redeploy, and data-path
   executions through the real stack must produce zero findings.
 
@@ -319,6 +325,62 @@ def _schedule_delta_stale_baseline(seed: int) -> ScheduleResult:
         params.RDX_DELTA_DEPLOY = saved
 
 
+def relay_sync(bed: Testbed, parent: Sandbox, child: Sandbox) -> RemoteSync:
+    """A tree-relay QP: ``parent``'s host initiating into ``child``.
+
+    The same wiring :meth:`CodeFlowGroup._relay_sync` builds for the
+    real tree fan-out -- but here it is handed to a *broken* relay
+    engine that never sends its status report back.
+    """
+    parent_ctx = open_device(parent.host)
+    local_qp = parent_ctx.create_qp(
+        parent_ctx.alloc_pd(), parent_ctx.create_cq()
+    )
+    target_ctx = open_device(child.host)
+    target_qp = target_ctx.create_qp(_pd_of(child), target_ctx.create_cq())
+    connect_qps(local_qp, target_qp)
+    assert child.ctx_manifest is not None
+    return RemoteSync(bed.sim, local_qp, child.ctx_manifest.rkey, child)
+
+
+def _schedule_relay_commit_before_body(seed: int) -> ScheduleResult:
+    """A relay forwards the body; the control plane commits directly.
+
+    The real tree deploy keeps body and commit on ONE relay QP (SQ
+    FIFO orders them) and only acts on the leg after the relay's
+    report.  This schedule reconstructs the tempting-but-broken
+    optimization: the control plane posts the child's commit CAS on
+    its own QP as soon as it has *handed off* the body, treating the
+    handoff as if it were the report.  No edge orders the commit
+    after the relayed chunks -- the hook can flip onto a half-landed
+    image, and the detector must say so.
+    """
+    bed = make_testbed(n_hosts=2, cores_per_host=4, seed=seed)
+    sim = bed.sim
+    parent, child = bed.sandboxes
+    body_sync = relay_sync(bed, parent, child)
+    commit_sync = bed.codeflows[1].sync  # control plane -> child, direct
+    assert child.ctx_manifest is not None
+    code_addr = child.ctx_manifest.code_addr
+    hook_addr = child.hook_table.slot_addr("ingress")
+    body = bytes(range(256)) * 24  # ~6KB: lands in two MTU chunks
+
+    note = hb_events.txn_note(publishes=(code_addr, len(body)))
+    sim.spawn(
+        body_sync.write(code_addr, body, note={"txn": note["txn"]}),
+        name="hb-relay-body",
+    )
+    sim.spawn(
+        commit_sync.cas(hook_addr, 0, code_addr, note=note),
+        name="hb-relay-commit",
+    )
+    sim.run(until=sim.now + 10_000)
+    return _finish(
+        bed,
+        ScheduleResult("relay-commit-before-body", expect="commit-before-body"),
+    )
+
+
 _SCHEDULES = (
     _schedule_clean_deploy,
     _schedule_reordered_commit,
@@ -327,6 +389,7 @@ _SCHEDULES = (
     _schedule_bubble_race,
     _schedule_delta_chunk_reordered,
     _schedule_delta_stale_baseline,
+    _schedule_relay_commit_before_body,
 )
 
 

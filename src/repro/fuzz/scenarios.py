@@ -181,6 +181,53 @@ def _drive_broadcast_8(sim, seed: int, plan: "SchedulePlan") -> None:
         injector.detach()
 
 
+def _drive_broadcast_64_tree(sim, seed: int, plan: "SchedulePlan") -> None:
+    """Rack-scale guarded target: a 64-way *tree* broadcast -- relay
+    fan-out, chained-doorbell raises, tree-relayed lowers -- with a
+    tape-chosen payload fault on one leaf.  Relay legs swap a target's
+    sync and dispatch CPU mid-flight and forward prelinked images over
+    freshly wired QPs; an ordering hole in that handoff is exactly what
+    the perturbed schedules exist to surface."""
+    from repro.core.broadcast import CodeFlowGroup
+    from repro.ebpf.stress import make_stress_program
+    from repro.errors import BroadcastAborted
+
+    saved = (params.RDX_TREE_BROADCAST, params.RDX_TREE_DEGREE)
+    params.RDX_TREE_BROADCAST = True
+    params.RDX_TREE_DEGREE = 4
+    try:
+        # Lean rack: one core per host and no node agents, so 25 fuzz
+        # iterations of a 64-target round stay within the CI budget.
+        bed = make_testbed(
+            n_hosts=64, cores_per_host=1, with_agents=False, seed=seed,
+            sim=sim,
+        )
+        group = CodeFlowGroup(bed.codeflows)
+        injector = FaultInjector(bed.codeflows[-1], seed=seed)
+        injector.attach()
+        injector.arm_from_plan(plan, "fault.kind:broadcast64")
+        rollout = make_stress_program(300, seed=seed + 13, name="fztree")
+        try:
+            try:
+                sim.run_process(
+                    group.broadcast(
+                        [rollout] * len(bed.codeflows), "ingress"
+                    )
+                )
+            except BroadcastAborted:
+                pass  # tape-chosen fault aborted the round; rollback ran
+            for sandbox in bed.sandboxes[::8]:
+                try:
+                    sandbox.run_hook("ingress", bytes(256))
+                except (SandboxCrash, ReproError):
+                    sandbox.crashed = False
+            sim.run(until=sim.now + _SETTLE_US)
+        finally:
+            injector.detach()
+    finally:
+        params.RDX_TREE_BROADCAST, params.RDX_TREE_DEGREE = saved
+
+
 def _drive_crash_recovery(sim, seed: int, plan: "SchedulePlan") -> None:
     from repro.core.broadcast import CodeFlowGroup
     from repro.core.reconcile import Reconciler, resume_control_plane
@@ -403,6 +450,7 @@ _ALL = (
     Scenario("single-deploy", _drive_single_deploy),
     Scenario("delta-hotpatch", _drive_delta_hotpatch),
     Scenario("broadcast-8", _drive_broadcast_8),
+    Scenario("broadcast-64-tree", _drive_broadcast_64_tree),
     Scenario("crash-recovery", _drive_crash_recovery),
     Scenario(
         "sharded-commit", _drive_sharded_commit,

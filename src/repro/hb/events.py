@@ -34,6 +34,15 @@ Event categories and their payloads:
 ``hb.lock``
     ``rdx_mutual_excl`` transitions: ``op`` is ``acquire``/``release``,
     ``addr`` the lock word, ``token`` the owner.
+``hb.handoff``
+    A tree-broadcast relay handoff: the control plane ships a chained
+    WR list (or lowering command) to an already-updated sandbox for
+    forwarding.  ``from_qp`` is the initiator QP whose polled
+    completions the command is program-ordered behind; ``qp`` is the
+    relay QP that will carry the forwarded ops.  The wire message is
+    a real happens-before edge -- the relay cannot post bytes it has
+    not received -- which is what orders a relayed lower after the
+    control plane's raise without sharing a send queue.
 ``hb.exec``
     The target CPU executed a hook: ``hook_addr`` the slot qword it
     read, ``pointer`` the code address it observed through the cache,
@@ -211,6 +220,21 @@ def emit_comp(
     )
 
 
+def emit_handoff(
+    sim: "Simulator", from_qp: "QueuePair", to_qp: "QueuePair"
+) -> None:
+    """The control plane hands a relay its forwarding work."""
+    remote = to_qp.remote
+    emit(
+        sim,
+        "hb.handoff",
+        qp=to_qp.qpn,
+        from_qp=from_qp.qpn,
+        node=to_qp.rnic.host.name,
+        target=remote.rnic.host.name if remote is not None else None,
+    )
+
+
 @dataclass(frozen=True)
 class HbEvent:
     """One parsed hb event, positioned in the recorder's total order.
@@ -308,6 +332,7 @@ _ETYPES = {
     "hb.flush.post": "flush_post",
     "hb.flush": "flush",
     "hb.lock": "lock",
+    "hb.handoff": "handoff",
     "hb.exec": "exec",
 }
 

@@ -38,6 +38,14 @@ ops -- see DESIGN.md §12 for the full rationale):
 * **lock release -> next acquire** on the same lock word
   (``rdx_mutual_excl``), with acquire/release acting as ordering
   points on their QP.
+* **relay handoff** -- a tree-broadcast relay command is a wire
+  message from the control plane to the forwarding sandbox: the
+  handoff joins the *sender* QP's latest ordering point (the polled
+  completions the command is program-ordered behind) and becomes the
+  relay QP's ordering point, so everything the relay posts afterwards
+  is causally behind whatever the control plane had confirmed before
+  shipping the command (e.g. the bubble raise a relayed lower must
+  follow).
 * **epoch fence** -- a successful CAS raising the target's epoch word
   to E is ordered after every event tagged with an older epoch that
   already landed: the fence is the point where the old owner's story
@@ -159,6 +167,15 @@ class HbGraph:
                 # whenever it lands -- no waited flag, no edge).
                 if event.data.get("waited"):
                     ordering_point[qp] = event
+
+            elif etype == "handoff":
+                # The relay command is ordered behind the sender QP's
+                # latest ordering point, and everything the relay QP
+                # posts afterwards is ordered behind the command.
+                point = ordering_point.get(event.data.get("from_qp"))
+                if point is not None:
+                    preds.append(point)
+                ordering_point[qp] = event
 
             elif etype == "lock":
                 point = ordering_point.get(qp)

@@ -18,6 +18,11 @@ v2 adds the RDX-native pieces (DESIGN.md §14):
   ``python -m repro.cli blackbox``.
 """
 
+from repro.obs.cardinality import (
+    UNSHARDED,
+    drop_target_series,
+    target_label,
+)
 from repro.obs.exporters import (
     escape_label_value,
     from_jsonl,
@@ -68,7 +73,9 @@ __all__ = [
     "TelemetryScraper",
     "TelemetrySegment",
     "TornSnapshotError",
+    "UNSHARDED",
     "decode_segment",
+    "drop_target_series",
     "escape_label_value",
     "export_jsonl",
     "export_prometheus",
@@ -77,6 +84,7 @@ __all__ = [
     "parse_prometheus",
     "prom_name",
     "reconstruct_deploy_traces",
+    "target_label",
     "telemetry_of",
     "to_jsonl",
     "to_prometheus",

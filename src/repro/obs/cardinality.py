@@ -1,0 +1,53 @@
+"""Label-cardinality control for per-target metric series.
+
+Every deploy leg, heartbeat, and fence trip historically carried a
+``target=<sandbox>`` label.  At 8 targets that is a readable breakdown;
+at N=1024 it is thousands of live series per metric name -- the
+registry, the exporters, and every scrape pay for it.  The fix is the
+standard one from production metric pipelines: aggregate the hot
+per-target series to their owning *shard* by default, and keep the
+full breakdown behind an explicit opt-in for small runs.
+
+:func:`target_label` is the one choke point: instrumentation sites
+pass the sandbox name plus the shard that owns it, and get back the
+label value to emit under the current
+:data:`repro.params.RDX_OBS_TARGET_LABELS` setting.
+
+Retired series (a closed codeflow, a superseded epoch) are dropped via
+:meth:`repro.obs.metrics.MetricsRegistry.drop` -- see
+:func:`drop_target_series`.
+"""
+
+from __future__ import annotations
+
+from repro import params
+
+#: Aggregate label value used when no shard owns the target (a plain
+#: unsharded control plane).
+UNSHARDED = "_all"
+
+
+def target_label(target: str, shard: str = "") -> str:
+    """The ``target=`` label value to emit for ``target``.
+
+    Per-target when :data:`~repro.params.RDX_OBS_TARGET_LABELS` is on;
+    otherwise the owning ``shard`` (or :data:`UNSHARDED`), collapsing
+    the series count from O(targets) to O(shards).
+    """
+    if params.RDX_OBS_TARGET_LABELS:
+        return target
+    return shard or UNSHARDED
+
+
+def drop_target_series(registry, target: str, shard: str = "") -> int:
+    """Retire every series labelled for ``target`` from ``registry``.
+
+    Called when a codeflow closes or a target is permanently removed,
+    so a long-lived control plane does not accumulate dead series.
+    When aggregation is active the per-target series never existed and
+    the shard-level series keeps serving the survivors, so there is
+    nothing to drop.  Returns the number of series removed.
+    """
+    if not params.RDX_OBS_TARGET_LABELS:
+        return 0
+    return registry.drop(target=target)

@@ -123,6 +123,62 @@ RDX_DELTA_DEPLOY = os.environ.get("RDX_DELTA_DEPLOY", "0") not in (
 #: erases the bytes saved.
 RDX_DELTA_MAX_CHUNKS = int(os.environ.get("RDX_DELTA_MAX_CHUNKS", "8"))
 
+#: Master switch for the sim-kernel fast dispatch path: the inlined
+#: event loop in :meth:`repro.sim.core.Simulator.run` plus the
+#: allocation-trimmed poke/bootstrap events.  A mutable module global
+#: like :data:`RDX_PIPELINED_DEPLOY` so ``bench_scale`` can measure
+#: both arms in one process; the environment sets only the default
+#: (``RDX_SIM_FAST=0`` restores the pre-PR ``step()``-per-event loop).
+#: Both arms are semantically identical -- same event ordering, same
+#: tie-breaking -- only the constant factor differs.
+RDX_SIM_FAST = os.environ.get("RDX_SIM_FAST", "1") not in (
+    "0", "false", "no",
+)
+
+#: Master switch for tree broadcast: fan deploy legs out through a
+#: relay tree (already-updated sandboxes forward the chained WR list
+#: to their children) instead of hub-and-spoke from the control plane.
+#: A mutable module global like :data:`RDX_PIPELINED_DEPLOY`; the
+#: environment sets only the default (``RDX_TREE_BROADCAST=1`` to
+#: enable).  Off by default: small groups gain nothing and the flat
+#: path is the long-soaked one; ``ShardedGroup`` and the scale bench
+#: turn it on.
+RDX_TREE_BROADCAST = os.environ.get("RDX_TREE_BROADCAST", "0") not in (
+    "0", "false", "no", "",
+)
+
+#: Fan-out degree of the broadcast relay tree: the shard's control
+#: plane seeds this many roots directly and every updated sandbox
+#: relays to at most this many children, giving ~log_d(N) relay
+#: levels.  Degree trades per-node relay load (d chains through one
+#: RNIC) against tree depth.
+RDX_TREE_DEGREE = int(os.environ.get("RDX_TREE_DEGREE", "4"))
+
+#: Number of control-plane shards a :class:`repro.core.shard.ShardedGroup`
+#: partitions a codeflow group across (each shard is a full
+#: RdxControlPlane with its own epoch, journal, and fenced ownership
+#: of its partition).
+RDX_BROADCAST_SHARDS = int(os.environ.get("RDX_BROADCAST_SHARDS", "4"))
+
+#: Opt-in for per-target metric labels.  Off (the default), high-
+#: cardinality series like ``rdx.broadcast.legs{mode,target}`` and the
+#: per-target health counters aggregate their ``target`` label to the
+#: owning shard (or ``_all`` when unsharded), keeping the registry
+#: bounded at N=1024.  Small runs and label-sensitive tests set
+#: ``RDX_OBS_TARGET_LABELS=1`` to get the per-target breakdown back.
+#: A mutable module global like :data:`RDX_OBS`.
+RDX_OBS_TARGET_LABELS = os.environ.get(
+    "RDX_OBS_TARGET_LABELS", "0"
+) not in ("0", "false", "no", "")
+
+#: Batched health sweep: ``HealthDetector.probe_all`` posts every
+#: heartbeat READ of a shard as one doorbell-batched sweep (no
+#: per-probe process, retry ladder, or span) instead of N independent
+#: probes.  ``RDX_HEALTH_BATCH_SWEEP=0`` restores per-target probes.
+RDX_HEALTH_BATCH_SWEEP = os.environ.get(
+    "RDX_HEALTH_BATCH_SWEEP", "1"
+) not in ("0", "false", "no")
+
 #: Master switch for happens-before race checking (:mod:`repro.hb`).
 #: When on, the RNIC / sync / sandbox layers emit ``hb.*`` trace
 #: events and the pytest fixture in ``tests/conftest.py`` runs the

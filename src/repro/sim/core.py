@@ -9,7 +9,10 @@ sequence number), never by object identity.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro import params
 
 #: One microsecond -- the base unit of simulated time.
 US = 1.0
@@ -107,6 +110,37 @@ class Event:
             callback(self)
 
 
+class _Poke(Event):
+    """A pre-triggered single-callback event, minimally constructed.
+
+    The kernel enqueues thousands of these (process bootstraps,
+    interrupts, resumes on already-processed events); they are never
+    yielded, waited on, or observed from user code, so the full
+    :class:`Event` construction protocol (pending state, ``succeed``
+    double-trigger checks) is pure overhead.  Dispatch only touches
+    ``callbacks`` / ``_processed`` / ``_value`` / ``_exception``, which
+    is all this initializer fills in.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        callback: Callable[["Event"], None],
+        value: Any = None,
+        exception: Optional[BaseException] = None,
+    ):
+        self.sim = sim
+        self.callbacks = [callback]
+        self._value = value
+        self._exception = exception
+        self._triggered = True
+        self._processed = False
+        seq = sim._seq = sim._seq + 1
+        heappush(sim._queue, (sim._now, seq, self))
+
+
 class Timeout(Event):
     """An event that fires ``delay`` microseconds after creation."""
 
@@ -115,11 +149,40 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._triggered = True
+        # Flattened Event.__init__ + enqueue: timeouts are the single
+        # most-allocated object in the simulator, so they skip the
+        # two-level constructor and the _enqueue call.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._enqueue(self, delay=delay)
+        self._exception = None
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        seq = sim._seq = sim._seq + 1
+        heappush(sim._queue, (sim._now + delay, seq, self))
+
+
+class _Tick(Event):
+    """A process's reusable timeout carrier for bare-number yields.
+
+    A process waits on at most one thing at a time, so one tick object
+    per process can carry *every* ``yield <float>`` it ever makes: each
+    use re-arms ``_processed``/``callbacks`` and pushes the same object
+    back on the calendar.  This removes the per-slice :class:`Timeout`
+    allocation from the hottest kernel loop (CPU quantum slicing at
+    rack scale allocates one otherwise-identical timeout per slice).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._triggered = True
+        self._processed = False
 
 
 class Process(Event):
@@ -127,20 +190,26 @@ class Process(Event):
 
     The wrapped generator yields :class:`Event` instances.  When a
     yielded event fires, the generator is resumed with the event's value
-    (or the event's exception is thrown into it).
+    (or the event's exception is thrown into it).  A bare ``int`` or
+    ``float`` yield is a timeout of that many microseconds, serviced by
+    the process's reusable :class:`_Tick` with no allocation.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_resume_cb", "_tick")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        #: One bound method for the process's whole life -- every
+        #: ``callbacks.append(self._resume)`` would otherwise allocate
+        #: a fresh bound-method object per yield.
+        self._resume_cb = self._resume
+        #: Lazily-built reusable timeout carrier for bare-number yields.
+        self._tick: Optional[_Tick] = None
         # Bootstrap: resume once at spawn time (time "now").
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        _Poke(sim, self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -156,13 +225,16 @@ class Process(Event):
         target = self._waiting_on
         if target is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
+            if target is self._tick:
+                # The tick stays queued (inert: no callbacks) -- retire
+                # it so a later bare-number yield can't re-arm an
+                # object with a stale, earlier calendar entry.
+                self._tick = None
             self._waiting_on = None
-        poke = Event(self.sim)
-        poke.callbacks.append(lambda _ev: self._throw(Interrupt(cause)))
-        poke.succeed()
+        _Poke(self.sim, lambda _ev: self._throw(Interrupt(cause)))
 
     def _throw(self, exc: BaseException) -> None:
         if not self.is_alive:
@@ -192,29 +264,64 @@ class Process(Event):
             self.sim._note_failure(self, err)
             self.fail(err)
             return
+        # Inlined _wait_on fast paths: _resume is the single hottest
+        # kernel function.  A bare number is a timeout serviced by the
+        # reusable tick (no allocation); nearly every other yield hands
+        # back a pending event in this simulator.
+        cls = target.__class__
+        if cls is float or cls is int:
+            self._schedule_tick(target)
+            return
+        if isinstance(target, Event) and target.sim is self.sim:
+            self._waiting_on = target
+            if not target._processed:
+                target.callbacks.append(self._resume_cb)
+            else:
+                _Poke(
+                    self.sim, self._resume_cb, target._value, target._exception
+                )
+            return
         self._wait_on(target)
 
+    def _schedule_tick(self, delay: float) -> None:
+        """Arm the reusable tick ``delay`` microseconds out."""
+        if delay < 0:
+            self._throw(SimulationError(f"negative timeout delay: {delay}"))
+            return
+        tick = self._tick
+        if tick is None:
+            tick = self._tick = _Tick(self.sim)
+        tick._processed = False
+        tick.callbacks.append(self._resume_cb)
+        self._waiting_on = tick
+        sim = self.sim
+        seq = sim._seq = sim._seq + 1
+        heappush(sim._queue, (sim._now + delay, seq, tick))
+
     def _wait_on(self, target: Any) -> None:
+        cls = target.__class__
+        if cls is float or cls is int:
+            self._schedule_tick(target)
+            return
+        # Fast path next: a pending event in this simulator is what
+        # nearly every yield hands back.
+        if isinstance(target, Event) and target.sim is self.sim:
+            self._waiting_on = target
+            if not target._processed:
+                target.callbacks.append(self._resume_cb)
+            else:
+                # Already fired: resume immediately (same timestamp).
+                _Poke(
+                    self.sim, self._resume_cb, target._value, target._exception
+                )
+            return
         if not isinstance(target, Event):
             exc = SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}"
             )
             self._throw(exc)
             return
-        if target.sim is not self.sim:
-            self._throw(SimulationError("yielded event belongs to another simulator"))
-            return
-        self._waiting_on = target
-        if target._processed:
-            # Already fired: resume immediately (same timestamp).
-            poke = Event(self.sim)
-            poke._value = target._value
-            poke._exception = target._exception
-            poke.callbacks.append(self._resume)
-            poke._triggered = True
-            self.sim._enqueue(poke)
-        else:
-            target.callbacks.append(self._resume)
+        self._throw(SimulationError("yielded event belongs to another simulator"))
 
 
 class _Condition(Event):
@@ -351,19 +458,57 @@ class Simulator:
         When ``until`` is given, the clock is left exactly at ``until``
         even if no event lands on that instant, so back-to-back ``run``
         calls compose predictably.
+
+        With :data:`repro.params.RDX_SIM_FAST` (the default) dispatch
+        is inlined -- no per-event ``step()``/``_process()`` calls --
+        with identical ordering semantics; ``RDX_SIM_FAST=0`` selects
+        the original loop for ablation.
         """
         if until is not None and until < self._now:
             raise SimulationError(
                 f"run(until={until}) is in the past (now={self._now})"
             )
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
+        if not params.RDX_SIM_FAST:
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return
+                self.step()
+            if until is not None:
                 self._now = until
-                return
-            self.step()
-        if until is not None:
-            self._now = until
+            return
+        queue = self._queue
+        processed = self._processed_events
+        try:
+            if until is None:
+                while queue:
+                    when, _seq, event = heappop(queue)
+                    self._now = when
+                    processed += 1
+                    event._processed = True
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for callback in callbacks:
+                            callback(event)
+            else:
+                while queue:
+                    if queue[0][0] > until:
+                        self._now = until
+                        return
+                    when, _seq, event = heappop(queue)
+                    self._now = when
+                    processed += 1
+                    event._processed = True
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for callback in callbacks:
+                            callback(event)
+                self._now = until
+        finally:
+            self._processed_events = processed
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Spawn ``generator``, run until *it* completes, return its value.
@@ -374,9 +519,26 @@ class Simulator:
         instead of being drained to exhaustion here.
         """
         proc = self.spawn(generator, name=name)
-        while not proc.triggered and self._queue:
-            self.step()
-        if not proc.triggered:
+        queue = self._queue
+        if not params.RDX_SIM_FAST:
+            while not proc._triggered and queue:
+                self.step()
+        else:
+            processed = self._processed_events
+            try:
+                while not proc._triggered and queue:
+                    when, _seq, event = heappop(queue)
+                    self._now = when
+                    processed += 1
+                    event._processed = True
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for callback in callbacks:
+                            callback(event)
+            finally:
+                self._processed_events = processed
+        if not proc._triggered:
             raise SimulationError(
                 f"process {proc.name!r} never completed (deadlock?)"
             )

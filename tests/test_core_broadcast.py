@@ -150,28 +150,31 @@ class TestBubbleLeak:
     def test_failed_deploy_still_lowers_every_bubble(self, testbed2):
         """Regression: a deploy failure mid-broadcast must not strand
         targets behind raised bubble flags (§2.2 agent lockout)."""
-        from repro.core.control_plane import RdxControlPlane
+        from repro.core.codeflow import CodeFlow
         from repro.errors import BroadcastAborted
 
         bed = testbed2
-        original = RdxControlPlane.inject
+        # Patch at deploy_prog, the choke point every arm passes
+        # through (flat legs via inject, tree roots via the prelinked
+        # fast path), so the failure bites regardless of topology.
+        original = CodeFlow.deploy_prog
 
-        def failing(self, codeflow, program, hook_name, **kwargs):
-            if codeflow is bed.codeflows[1]:
+        def failing(self, program, linked, hook_name, **kwargs):
+            if self is bed.codeflows[1]:
                 raise DeployError("target 1 deploy blew up")
             report = yield from original(
-                self, codeflow, program, hook_name, **kwargs
+                self, program, linked, hook_name, **kwargs
             )
             return report
 
-        RdxControlPlane.inject = failing
+        CodeFlow.deploy_prog = failing
         try:
             process = bed.sim.spawn(
                 rdx_broadcast(bed.codeflows, programs_for(bed), "ingress")
             )
             bed.sim.run()
         finally:
-            RdxControlPlane.inject = original
+            CodeFlow.deploy_prog = original
         # The failure is surfaced as a transactional abort, not
         # swallowed; the per-target error rides along in the message.
         with pytest.raises(BroadcastAborted, match="blew up"):

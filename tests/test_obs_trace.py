@@ -104,6 +104,24 @@ class TestBroadcastTrace:
         assert rows and all(
             row["labels"] == {"tenant": "team-a"} for row in rows
         )
+        # With the default cardinality cap, per-target deploy series
+        # aggregate to one label per (unsharded) control plane.
+        per_target = {
+            row["labels"]["target"]
+            for row in bed.obs.registry.snapshot()
+            if row["name"] == "rdx.deploy.install_visible_us"
+        }
+        assert per_target == {"_all"}
+
+    def test_target_labels_opt_in_restores_per_target_series(
+        self, monkeypatch
+    ):
+        from repro import params
+
+        monkeypatch.setattr(params, "RDX_OBS_TARGET_LABELS", True)
+        bed = make_testbed(n_hosts=4, cores_per_host=8)
+        group = CodeFlowGroup(bed.codeflows)
+        bed.sim.run_process(group.broadcast(_programs(4, 7), "ingress"))
         per_target = {
             row["labels"]["target"]
             for row in bed.obs.registry.snapshot()

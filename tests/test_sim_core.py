@@ -157,11 +157,31 @@ class TestEvents:
 
     def test_yield_non_event_fails_process(self, sim):
         def proc():
-            yield 42
+            yield "not an event"
 
         process = sim.spawn(proc())
         sim.run()
         with pytest.raises(SimulationError):
+            _ = process.value
+
+    def test_bare_number_yield_is_a_timeout(self, sim):
+        """``yield 42`` sleeps 42us via the process's reusable tick --
+        the allocation-free shorthand the CPU slice loop uses."""
+
+        def proc():
+            yield 42
+            yield 0.5
+            return sim.now
+
+        assert sim.run_process(proc()) == 42.5
+
+    def test_negative_bare_number_yield_fails(self, sim):
+        def proc():
+            yield -1.0
+
+        process = sim.spawn(proc())
+        sim.run()
+        with pytest.raises(SimulationError, match="negative"):
             _ = process.value
 
 

@@ -1,0 +1,330 @@
+"""Tree-broadcast fault paths and the cross-shard commit (rack scale).
+
+The happy path is covered by the scale bench; what these tests pin
+down is the *failure* matrix of the relay fan-out:
+
+* a broken relay path (dead link, crashed parent host) falls back to
+  direct delivery from the control plane -- the target still gets its
+  update, the fallback is counted;
+* a failed relay's whole subtree falls back rather than being
+  stranded;
+* an abort rolls back every reached subtree, all-or-nothing;
+* a relayed leg fenced by a successor epoch propagates
+  :class:`~repro.errors.StaleEpochError` -- never downgraded to a
+  fallback, never force-fed direct bytes, and the lowering phase
+  leaves the successor's bubble alone;
+* the cross-shard coordinator commits/aborts/degrades on the global
+  tally, and a forfeited shard never strands its siblings.
+"""
+
+import pytest
+
+from repro import params
+from repro.core.broadcast import CodeFlowGroup
+from repro.core.codeflow import CodeFlow
+from repro.core.shard import ShardCoordinator, partition
+from repro.ebpf.stress import make_stress_program
+from repro.errors import (
+    BroadcastAborted,
+    ConsistencyError,
+    DeployError,
+    HostUnreachable,
+)
+from repro.exp.harness import make_testbed
+from repro.exp.scale import sharded_testbed
+from repro.mem.layout import pack_qword
+
+
+@pytest.fixture
+def tree_params():
+    """Force the tree arm with degree 2, so 9 targets give depth > 2
+    (roots 0-1; e.g. position 8 is relayed via 3, itself via 0)."""
+    saved = (params.RDX_TREE_BROADCAST, params.RDX_TREE_DEGREE)
+    params.RDX_TREE_BROADCAST = True
+    params.RDX_TREE_DEGREE = 2
+    yield
+    params.RDX_TREE_BROADCAST, params.RDX_TREE_DEGREE = saved
+
+
+@pytest.fixture
+def bed(tree_params):
+    return make_testbed(
+        n_hosts=9, cores_per_host=2, hooks=("ingress",),
+        with_agents=False, seed=3,
+    )
+
+
+def programs_for(bed, size=150):
+    return [
+        make_stress_program(size, seed=i + 1, name=f"tb{i}")
+        for i in range(len(bed.codeflows))
+    ]
+
+
+def fallback_count(bed, reason):
+    metric = bed.obs.registry.get(
+        "rdx.broadcast.relay_fallback", target="_all", reason=reason
+    )
+    return metric.value if metric is not None else 0
+
+
+class TestTreeFanout:
+    def test_tree_deploys_everywhere(self, bed):
+        progs = programs_for(bed)
+        result = bed.sim.run_process(
+            CodeFlowGroup(bed.codeflows).broadcast(progs, "ingress")
+        )
+        assert result.group_size == 9
+        assert all(outcome.ok for outcome in result.outcomes)
+        for sandbox in bed.sandboxes:
+            out, _ = sandbox.run_hook("ingress", bytes(256))
+            assert out is not None
+        assert all(not sb.bubble_active() for sb in bed.sandboxes)
+
+    def test_broken_relay_path_falls_back_to_direct(self, bed):
+        """A dead relay link is a *path* problem, not a target problem:
+        the shard still owes the target its update, delivered direct."""
+        victim = bed.codeflows[-1]
+        original = CodeFlowGroup._relay_deploy
+
+        def broken(self, parent, codeflow, *args, **kwargs):
+            if codeflow is victim:
+                raise HostUnreachable(
+                    f"{codeflow.sandbox.name}: relay link dead"
+                )
+            return original(self, parent, codeflow, *args, **kwargs)
+
+        CodeFlowGroup._relay_deploy = broken
+        try:
+            result = bed.sim.run_process(
+                CodeFlowGroup(bed.codeflows).broadcast(
+                    programs_for(bed), "ingress"
+                )
+            )
+        finally:
+            CodeFlowGroup._relay_deploy = original
+        assert all(outcome.ok for outcome in result.outcomes)
+        assert fallback_count(bed, "HostUnreachable") == 1
+        out, _ = victim.sandbox.run_hook("ingress", bytes(256))
+        assert out is not None
+
+    def test_failed_relay_subtree_falls_back_not_stranded(self, bed):
+        """When a relay's own deploy fails, its children must not wait
+        on a parent that will never forward: they fall back to direct
+        delivery (reason ``parent-failed``) and still succeed."""
+        root = bed.codeflows[0]  # tree position 0: children are 2 and 3
+        original = CodeFlow.deploy_prog
+
+        def failing(self, program, linked, hook_name, **kwargs):
+            if self is root:
+                raise DeployError("root deploy blew up")
+            report = yield from original(
+                self, program, linked, hook_name, **kwargs
+            )
+            return report
+
+        CodeFlow.deploy_prog = failing
+        try:
+            result = bed.sim.run_process(
+                CodeFlowGroup(bed.codeflows).broadcast(
+                    programs_for(bed), "ingress", allow_partial=True
+                )
+            )
+        finally:
+            CodeFlow.deploy_prog = original
+        assert result.degraded
+        assert not result.outcomes[0].ok
+        assert all(outcome.ok for outcome in result.outcomes[1:])
+        # Exactly the failed root's two children fell back; their own
+        # subtrees relayed through them as usual.
+        assert fallback_count(bed, "parent-failed") == 2
+
+    def test_abort_rolls_back_reached_subtrees(self, bed):
+        """A torn image on one leaf aborts the round after most of the
+        tree already deployed: every reached subtree must roll back
+        (all-or-nothing) and every bubble must drop."""
+        from repro.core.faults import FaultInjector, FaultKind
+
+        progs = programs_for(bed)
+        injector = FaultInjector(bed.codeflows[-1], seed=11)
+        injector.arm(FaultKind.TORN_WRITE)
+        injector.attach()
+        try:
+            process = bed.sim.spawn(
+                CodeFlowGroup(bed.codeflows).broadcast(progs, "ingress")
+            )
+            bed.sim.run()
+        finally:
+            injector.detach()
+        with pytest.raises(BroadcastAborted) as excinfo:
+            _ = process.value
+        assert isinstance(excinfo.value, ConsistencyError)
+        # No target -- root, relay, or leaf -- keeps the new image.
+        for codeflow, prog in zip(bed.codeflows, progs):
+            assert prog.name not in codeflow.deployed
+        assert all(not sb.bubble_active() for sb in bed.sandboxes)
+
+    def test_stale_epoch_relayed_leg_fenced_not_fallback(self, bed):
+        """A successor incarnation claims a target mid-broadcast: the
+        relayed leg's fence read sees the newer epoch and the leg fails
+        with StaleEpochError -- a deploy-semantics failure that must
+        propagate, not trigger direct fallback (the control plane has
+        no more right to those bytes than the relay did)."""
+        progs = programs_for(bed)
+        victim = bed.codeflows[-1]  # deep in the tree: a relayed leg
+        original = CodeFlowGroup._relay_deploy
+
+        def fencing(self, parent, codeflow, *args, **kwargs):
+            if codeflow is victim:
+                # Successor bumps the fencing word between the bubble
+                # raise and the relayed deploy (write-through, so the
+                # relay QP's 8-byte fence read observes it).
+                codeflow.sandbox.host.cache.cpu_write(
+                    codeflow.sandbox.epoch_addr,
+                    pack_qword(codeflow.epoch + 1),
+                )
+            return original(self, parent, codeflow, *args, **kwargs)
+
+        CodeFlowGroup._relay_deploy = fencing
+        try:
+            process = bed.sim.spawn(
+                CodeFlowGroup(bed.codeflows).broadcast(progs, "ingress")
+            )
+            bed.sim.run()
+        finally:
+            CodeFlowGroup._relay_deploy = original
+        with pytest.raises(BroadcastAborted) as excinfo:
+            _ = process.value
+        result = excinfo.value.result
+        outcome = next(
+            o for o in result.outcomes if o.target == victim.sandbox.name
+        )
+        assert outcome.error_kind == "StaleEpochError"
+        # Fenced != fallback: no direct-delivery retry was counted.
+        assert fallback_count(bed, "StaleEpochError") == 0
+        # The abort rolled everyone else back and dropped their
+        # bubbles; the fenced target's bubble belongs to the successor
+        # now and the stale plane left it alone.
+        for codeflow in bed.codeflows:
+            if codeflow is not victim:
+                assert not codeflow.sandbox.bubble_active()
+
+
+class TestCrossShardCommit:
+    def _programs(self, bed):
+        return [
+            make_stress_program(150, seed=i + 1, name=f"sh{i}")
+            for i in range(len(bed.codeflows))
+        ]
+
+    def test_commit_when_every_shard_is_clean(self, tree_params):
+        bed = sharded_testbed(8, shards=2, cores_per_host=2, seed=5)
+        result = bed.sim.run_process(
+            bed.sharded.broadcast(self._programs(bed), "ingress")
+        )
+        assert result.group_size == 8
+        assert all(outcome.ok for outcome in result.outcomes)
+        assert result.bubble_window_us > 0
+        decisions = bed.obs.registry.counter(
+            "rdx.shard.decisions", decision="commit"
+        )
+        assert decisions.value == 1
+
+    def test_sibling_shard_failure_aborts_clean_shard(self, tree_params):
+        """All-or-nothing spans shards: shard 0's clean legs roll back
+        because a target in shard 1 failed."""
+        bed = sharded_testbed(8, shards=2, cores_per_host=2, seed=5)
+        progs = self._programs(bed)
+        victim = bed.codeflows[-1]  # owned by shard 1
+        original = CodeFlow.deploy_prog
+
+        def failing(self, program, linked, hook_name, **kwargs):
+            if self is victim:
+                raise DeployError("shard1 target blew up")
+            report = yield from original(
+                self, program, linked, hook_name, **kwargs
+            )
+            return report
+
+        CodeFlow.deploy_prog = failing
+        try:
+            process = bed.sim.spawn(
+                bed.sharded.broadcast(progs, "ingress")
+            )
+            bed.sim.run()
+        finally:
+            CodeFlow.deploy_prog = original
+        with pytest.raises(BroadcastAborted):
+            _ = process.value
+        for codeflow, prog in zip(bed.codeflows, progs):
+            assert prog.name not in codeflow.deployed
+        assert all(not sb.bubble_active() for sb in bed.sandboxes)
+        abort = bed.obs.registry.counter(
+            "rdx.shard.decisions", decision="abort"
+        )
+        assert abort.value == 1
+
+    def test_quorum_degrades_on_the_global_tally(self, tree_params):
+        bed = sharded_testbed(8, shards=2, cores_per_host=2, seed=5)
+        progs = self._programs(bed)
+        victim = bed.codeflows[-1]
+        original = CodeFlow.deploy_prog
+
+        def failing(self, program, linked, hook_name, **kwargs):
+            if self is victim:
+                raise DeployError("shard1 target blew up")
+            report = yield from original(
+                self, program, linked, hook_name, **kwargs
+            )
+            return report
+
+        CodeFlow.deploy_prog = failing
+        try:
+            result = bed.sim.run_process(
+                bed.sharded.broadcast(progs, "ingress", allow_partial=True)
+            )
+        finally:
+            CodeFlow.deploy_prog = original
+        assert result.degraded
+        survivors = [o for o in result.outcomes if o.ok]
+        assert len(survivors) == 7
+        # Survivors on *both* shards kept the new logic.
+        for codeflow, prog in zip(bed.codeflows, progs):
+            if codeflow is not victim:
+                assert prog.name in codeflow.deployed
+
+
+class TestShardCoordinator:
+    def test_forfeit_counts_as_all_failed(self, sim):
+        coordinator = ShardCoordinator(sim, shards=["a", "b"])
+
+        def voter():
+            decision = yield from coordinator.vote(
+                "a", ok=["t0", "t1"], failed=[]
+            )
+            return decision
+
+        process = sim.spawn(voter())
+        sim.run()
+        assert process.is_alive  # blocked: shard b has not voted
+        coordinator.forfeit("b")
+        sim.run()
+        assert process.value == "abort"
+
+    def test_unknown_and_double_votes_rejected(self, sim):
+        coordinator = ShardCoordinator(sim, shards=["a"])
+        with pytest.raises(ConsistencyError):
+            sim.run_process(coordinator.vote("ghost", ok=[], failed=[]))
+        assert sim.run_process(
+            coordinator.vote("a", ok=["t0"], failed=[])
+        ) == "commit"
+        with pytest.raises(ConsistencyError):
+            sim.run_process(coordinator.vote("a", ok=["t0"], failed=[]))
+
+    def test_partition_is_contiguous_and_never_empty(self):
+        assert partition(list(range(10)), 3) == [
+            [0, 1, 2, 3], [4, 5, 6], [7, 8, 9]
+        ]
+        assert partition([1, 2], 5) == [[1], [2]]
+        with pytest.raises(ValueError):
+            partition([1], 0)
