@@ -1,0 +1,143 @@
+"""Sustained multi-tenant serving throughput (the §7 service tier).
+
+One open-loop run of :func:`repro.exp.run_serve_workload` -- ~1000
+tenants in three priority classes over a rack of targets -- recorded
+in ``BENCH_SERVE.json``:
+
+* ``serve.deploys_per_sec``      -- sustained completed deploys/sec;
+* ``serve.latency_p{50,95,99}_us`` -- end-to-end submit -> install-
+  visible latency (plus per-class p99 rows);
+* ``serve.warm_service_p50_us`` / ``serve.cold_service_p50_us`` --
+  execution latency split by path, and their ratio
+  ``ratio.warm_latency`` (acceptance: >= 2x -- a warm-pool hit skips
+  validate+JIT+link entirely, so in practice it is ~20-30x);
+* ``serve.shed.<reason>``        -- the load-shedding ledger, plus
+  ``serve.silent_drops`` (acceptance: exactly 0 -- every offered
+  deploy is completed, failed, or attributed to a counted reason).
+
+Knobs (env vars; CI's serve-smoke job shrinks the run):
+
+* ``RDX_SERVE_TENANTS``      -- tenant population (default 1000);
+* ``RDX_SERVE_TARGETS``      -- target sandboxes (default 8);
+* ``RDX_SERVE_DURATION_US``  -- open-loop window (default 2e6);
+* ``RDX_SERVE_SEED``         -- workload seed (default 7).
+"""
+
+import os
+
+from repro.exp.harness import format_table, write_bench_json
+from repro.exp.serve_workload import ServeWorkloadSpec, run_serve_workload
+
+#: Acceptance: warm-pool service latency at least 2x better than cold.
+MIN_WARM_RATIO = 2.0
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+def _env_float(name, default):
+    return float(os.environ.get(name, default))
+
+
+def test_bench_serve(benchmark):
+    spec = ServeWorkloadSpec(
+        n_tenants=_env_int("RDX_SERVE_TENANTS", 1000),
+        n_targets=_env_int("RDX_SERVE_TARGETS", 8),
+        duration_us=_env_float("RDX_SERVE_DURATION_US", 2_000_000.0),
+        seed=_env_int("RDX_SERVE_SEED", 7),
+    )
+
+    result, service = benchmark.pedantic(
+        run_serve_workload, kwargs={"spec": spec}, rounds=1, iterations=1,
+    )
+
+    shed_total = sum(result.shed.values())
+    silent = result.unaccounted
+    warm_ratio = (
+        result.cold_service_p50_us / result.warm_service_p50_us
+        if result.warm_service_p50_us > 0
+        else 0.0
+    )
+
+    json_rows = [
+        {"metric": "serve.deploys_per_sec", "value": result.deploys_per_sec,
+         "unit": "deploys/s", "sim_time": result.duration_us},
+        {"metric": "serve.offered", "value": result.offered, "unit": "count"},
+        {"metric": "serve.completed", "value": result.completed,
+         "unit": "count"},
+        {"metric": "serve.failed", "value": result.failed, "unit": "count"},
+        {"metric": "serve.shed_total", "value": shed_total, "unit": "count"},
+        {"metric": "serve.silent_drops", "value": silent, "unit": "count"},
+        {"metric": "serve.latency_p50_us", "value": result.latency_p50_us,
+         "unit": "us"},
+        {"metric": "serve.latency_p95_us", "value": result.latency_p95_us,
+         "unit": "us"},
+        {"metric": "serve.latency_p99_us", "value": result.latency_p99_us,
+         "unit": "us"},
+        {"metric": "serve.warm_service_p50_us",
+         "value": result.warm_service_p50_us, "unit": "us"},
+        {"metric": "serve.cold_service_p50_us",
+         "value": result.cold_service_p50_us, "unit": "us"},
+        {"metric": "ratio.warm_latency", "value": warm_ratio, "unit": "x"},
+        {"metric": "serve.warm_hits", "value": result.warm_hits,
+         "unit": "count"},
+        {"metric": "serve.warm_misses", "value": result.warm_misses,
+         "unit": "count"},
+        {"metric": "serve.warm_evictions", "value": result.warm_evictions,
+         "unit": "count"},
+    ]
+    for reason, count in sorted(result.shed.items()):
+        json_rows.append(
+            {"metric": f"serve.shed.{reason}", "value": count,
+             "unit": "count"}
+        )
+    for name, p99 in sorted(result.per_class_p99_us.items()):
+        json_rows.append(
+            {"metric": f"serve.{name}.latency_p99_us", "value": p99,
+             "unit": "us"}
+        )
+    path = write_bench_json("SERVE", json_rows)
+
+    table_rows = [
+        ("deploys/sec (sustained)", result.deploys_per_sec),
+        ("latency p50, us", result.latency_p50_us),
+        ("latency p99, us", result.latency_p99_us),
+        ("warm service p50, us", result.warm_service_p50_us),
+        ("cold service p50, us", result.cold_service_p50_us),
+        ("warm/cold ratio", warm_ratio),
+        ("offered / completed", f"{result.offered} / {result.completed}"),
+        ("shed (all reasons)", shed_total),
+        ("silent drops", silent),
+    ]
+    print()
+    print(
+        format_table(
+            f"Multi-tenant serving -- {spec.n_tenants} tenants, "
+            f"{spec.n_targets} targets, {spec.duration_us / 1e6:.1f}s window",
+            ["metric", "value"],
+            table_rows,
+            note=(
+                f"shed ledger: {result.shed or '{}'}; warm pool "
+                f"{result.warm_hits} hits / {result.warm_misses} misses"
+            ),
+        )
+    )
+    print(f"results: {path}")
+
+    benchmark.extra_info["deploys_per_sec"] = result.deploys_per_sec
+    benchmark.extra_info["latency_p99_us"] = result.latency_p99_us
+    benchmark.extra_info["warm_ratio"] = warm_ratio
+
+    # Acceptance: no silent drops -- the ledger balances exactly.
+    assert silent == 0, (
+        f"{silent} offered deploys are unaccounted for "
+        f"(offered={result.offered}, completed={result.completed}, "
+        f"failed={result.failed}, shed={result.shed})"
+    )
+    # Acceptance: the warm pool actually skips the pipeline.
+    assert result.warm_hits > 0, "warm pool never hit"
+    assert warm_ratio >= MIN_WARM_RATIO, (
+        f"warm-pool service latency only {warm_ratio:.2f}x better than "
+        f"cold (floor {MIN_WARM_RATIO:.0f}x)"
+    )

@@ -543,6 +543,58 @@ def _fuzz(
     return "\n".join(lines), status
 
 
+def _serve(quick: bool, tenants: int, duration_us: float, seed: int) -> str:
+    """The ``serve`` subcommand: one open-loop multi-tenant run."""
+    from repro.exp.serve_workload import ServeWorkloadSpec, run_serve_workload
+
+    spec = ServeWorkloadSpec(
+        n_tenants=60 if quick else tenants,
+        n_targets=2 if quick else 8,
+        duration_us=200_000.0 if quick else duration_us,
+        n_hot_programs=4 if quick else 12,
+        seed=seed,
+    )
+    result, service = run_serve_workload(spec)
+    shed_total = sum(result.shed.values())
+    warm_ratio = (
+        result.cold_service_p50_us / result.warm_service_p50_us
+        if result.warm_service_p50_us > 0
+        else 0.0
+    )
+    rows = [
+        ("deploys/sec (sustained)", result.deploys_per_sec),
+        ("latency p50 (us)", result.latency_p50_us),
+        ("latency p95 (us)", result.latency_p95_us),
+        ("latency p99 (us)", result.latency_p99_us),
+        ("warm service p50 (us)", result.warm_service_p50_us),
+        ("cold service p50 (us)", result.cold_service_p50_us),
+        ("warm/cold speedup", f"{warm_ratio:.1f}x"),
+        ("offered", result.offered),
+        ("completed", result.completed),
+        ("failed", result.failed),
+        ("shed (total)", shed_total),
+    ]
+    rows += [
+        (f"shed: {reason}", count)
+        for reason, count in sorted(result.shed.items())
+    ]
+    rows += [
+        (f"p99 {name} (us)", p99)
+        for name, p99 in sorted(result.per_class_p99_us.items())
+    ]
+    return format_table(
+        f"Multi-tenant serving -- {spec.n_tenants} tenants, "
+        f"{spec.n_targets} targets, {spec.duration_us / 1e6:.1f}s open loop",
+        ["metric", "value"],
+        rows,
+        note=(
+            f"warm pool: {result.warm_hits} hits, {result.warm_misses} "
+            f"misses, {result.warm_evictions} evictions; "
+            f"unaccounted deploys: {result.unaccounted} (must be 0)"
+        ),
+    )
+
+
 def _recover(seed: int, nodes: int) -> str:
     from repro.exp.recovery_campaign import (
         format_recovery_report,
@@ -575,10 +627,10 @@ def main(argv=None) -> int:
         "experiment",
         choices=sorted(EXPERIMENTS)
         + ["all", "list", "telemetry", "faults", "recover", "races",
-           "blackbox", "fuzz"],
+           "blackbox", "fuzz", "serve"],
         help="which figure/table to regenerate "
         "(or 'telemetry' / 'faults' / 'recover' / 'races' / 'blackbox' "
-        "/ 'fuzz')",
+        "/ 'fuzz' / 'serve')",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps, faster run"
@@ -635,12 +687,21 @@ def main(argv=None) -> int:
         "--max-events", type=int, default=50_000,
         help="fuzz: per-iteration trace bound (overrun = inconclusive)",
     )
+    parser.add_argument(
+        "--tenants", type=int, default=1000,
+        help="serve: tenant population for the open-loop mix",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=2_000_000.0, metavar="US",
+        help="serve: open-loop arrival window, simulated microseconds",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         try:
             for name in sorted(EXPERIMENTS) + [
-                "blackbox", "faults", "fuzz", "races", "recover", "telemetry"
+                "blackbox", "faults", "fuzz", "races", "recover", "serve",
+                "telemetry"
             ]:
                 print(name)
         except BrokenPipeError:  # e.g. `repro list | head`
@@ -653,6 +714,17 @@ def main(argv=None) -> int:
 
     if args.experiment == "recover":
         print(_recover(seed=args.seed, nodes=args.nodes))
+        return 0
+
+    if args.experiment == "serve":
+        print(
+            _serve(
+                args.quick,
+                tenants=args.tenants,
+                duration_us=args.duration,
+                seed=args.seed or 7,
+            )
+        )
         return 0
 
     if args.experiment == "blackbox":

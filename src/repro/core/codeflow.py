@@ -66,6 +66,9 @@ class DeployReport:
     bytes_moved: int = 0
     #: Version of the baseline image the delta was diffed against.
     delta_base_version: int = 0
+    #: True when the image came out of the warm linked-image pool --
+    #: validate+JIT+link were all skipped (see :mod:`repro.serve`).
+    warm: bool = False
 
     def phases(self) -> dict[str, float]:
         return {
@@ -323,6 +326,29 @@ class CodeFlow:
         self.obs.histogram("rdx.link.cpu_us").observe(cost_us)
         return linked
 
+    def layout_fingerprint(self, relocs) -> Optional[int]:
+        """GOT-layout fingerprint of ``relocs`` against *this* target.
+
+        ``relocs`` is an iterable of ``(RelocKind, symbol)`` pairs; the
+        hash covers the *resolved addresses*, so it certifies that a
+        fresh link of the same image would produce identical bytes on
+        this target -- and naturally changes when layout churns (e.g.
+        address reuse after a warm reboot).  Returns ``None`` when a
+        symbol does not resolve.  Both the linked-image cache and the
+        warm pool key on this; the warm pool additionally recomputes it
+        at lookup time as its staleness check.
+        """
+        parts = []
+        for kind, symbol in relocs:
+            if kind is RelocKind.HELPER:
+                address = self.linker.helper_addresses.get(symbol)
+            else:
+                address = self._map_address_of(symbol)
+            if address is None:
+                return None
+            parts.append(f"{kind.value}:{symbol}={address:x}")
+        return zlib.crc32(";".join(parts).encode()) & 0xFFFFFFFF
+
     def _link_cache_key(self, binary: JitBinary) -> Optional[tuple]:
         """(code CRC, arch, GOT-layout fingerprint) for the image cache.
 
@@ -333,16 +359,11 @@ class CodeFlow:
         share a cache entry iff a fresh link would produce identical
         bytes on both.
         """
-        parts = []
-        for reloc in binary.relocations:
-            if reloc.kind is RelocKind.HELPER:
-                address = self.linker.helper_addresses.get(reloc.symbol)
-            else:
-                address = self._map_address_of(reloc.symbol)
-            if address is None:
-                return None
-            parts.append(f"{reloc.kind.value}:{reloc.symbol}={address:x}")
-        fingerprint = zlib.crc32(";".join(parts).encode()) & 0xFFFFFFFF
+        fingerprint = self.layout_fingerprint(
+            (reloc.kind, reloc.symbol) for reloc in binary.relocations
+        )
+        if fingerprint is None:
+            return None
         # The image's trailing 4 bytes are its own CRC32; hashing the
         # full image would therefore yield the CRC *residue* -- the
         # same constant for every image -- so hash the payload only.

@@ -105,6 +105,11 @@ class RdxControlPlane:
         #: Targets with identical layouts skip per-relocation rewriting
         #: entirely (see :meth:`CodeFlow.link_code`).
         self.linked_images: dict[tuple, JitBinary] = {}
+        #: Optional warm linked-image pool (installed by
+        #: :class:`repro.serve.DeployService`).  A warm hit resolves a
+        #: deploy to a pre-linked image by (tag, arch, GOT-layout
+        #: fingerprint) alone -- validate, JIT, *and* link are skipped.
+        self.warm_pool = None
         self.codeflows: list[CodeFlow] = []
         self.validations_run = 0
         self.compiles_run = 0
@@ -402,26 +407,46 @@ class RdxControlPlane:
                 target=codeflow.sandbox.name, hook=hook_name,
                 name=program.name, tag=tag,
             )
+        entry = None
         try:
             with self.obs.span(
                 "rdx.inject", parent=parent_span,
                 program=program.name, target=codeflow.sandbox.name,
             ) as span:
-                entry = yield from self.prepare_for(
-                    codeflow, program, maps=maps, principal=principal,
-                    parent_span=span,
-                )
-                if txn is not None:
+                # Warm path: a pool hit hands back a pre-linked image
+                # certified (by re-fingerprinting its relocations) to
+                # be byte-correct for this target's current layout --
+                # validate+JIT+link never run, and the deploy rides the
+                # pipelined chain directly.
+                linked = None
+                if self.warm_pool is not None and params.RDX_PIPELINED_DEPLOY:
+                    linked = yield from self.warm_pool.lookup(
+                        codeflow, program, parent_span=span
+                    )
+                link_us = 0.0
+                if linked is None:
+                    entry = yield from self.prepare_for(
+                        codeflow, program, maps=maps, principal=principal,
+                        parent_span=span,
+                    )
+                    if txn is not None:
+                        self.journal.phase(txn, "prepared")
+                    mark = self.sim.now
+                    linked = yield from codeflow.link_code(
+                        entry.binary, parent_span=span
+                    )
+                    link_us = self.sim.now - mark
+                elif txn is not None:
                     self.journal.phase(txn, "prepared")
-                mark = self.sim.now
-                linked = yield from codeflow.link_code(
-                    entry.binary, parent_span=span
-                )
-                link_us = self.sim.now - mark
                 report = yield from codeflow.deploy_prog(
                     program, linked, hook_name, retain_history=retain_history,
                     parent_span=span, fenced=fenced,
                 )
+                report.warm = entry is None
+                if entry is not None and self.warm_pool is not None:
+                    # Cold deploy completed: let the pool count the
+                    # (tag, arch, layout) and admit it once popular.
+                    self.warm_pool.note_deploy(program, codeflow, entry.binary)
         except BaseException as err:
             if txn is not None and not self.crashed:
                 self.journal.abort(txn, reason=str(err))
@@ -452,7 +477,8 @@ class RdxControlPlane:
             self.obs.flight.note_metrics(self.obs.registry)
         report.link_us = link_us
         report.total_us += link_us
-        entry.deploy_count += 1
+        if entry is not None:
+            entry.deploy_count += 1
         return report
 
     # -- teardown ----------------------------------------------------------------

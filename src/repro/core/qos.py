@@ -14,8 +14,8 @@ unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generator, Optional
+from dataclasses import dataclass, replace
+from typing import Generator
 
 from repro.errors import SecurityError
 from repro.sim.core import Simulator
@@ -55,15 +55,43 @@ class _TokenBucket:
         self._stamp = now
 
     def delay_for(self, amount: float) -> float:
-        """Microseconds until ``amount`` tokens are available."""
+        """Microseconds until ``amount`` tokens are available (a peek).
+
+        Advisory only: the balance can move before the caller acts on
+        the answer.  Anything that intends to *spend* the tokens must
+        use :meth:`reserve`, which debits atomically.
+        """
         self._refill()
         if self._tokens >= amount:
             return 0.0
         return (amount - self._tokens) / self.rate_per_us
 
-    def take(self, amount: float) -> None:
+    def reserve(self, amount: float) -> float:
+        """Atomically debit ``amount`` tokens; return the wait time.
+
+        The debit happens immediately -- before the caller yields -- so
+        two interleaved generators can never both observe the same
+        balance and overdraw the budget (the old ``delay_for`` ...
+        ``take`` two-step let exactly that happen: both passed the
+        check, both took, and the tenant got double its rate).  A
+        negative balance is a *reservation deficit*: the returned delay
+        is how long the refill stream needs to repay it, so back-to-back
+        reservers serialize at precisely the configured rate.
+        """
         self._refill()
-        self._tokens -= amount  # may go negative only via races; callers wait
+        self._tokens -= amount
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / self.rate_per_us
+
+    def take(self, amount: float) -> None:
+        """Deprecated two-step spend; kept for API compatibility.
+
+        Callers should use :meth:`reserve` -- a ``delay_for``/``take``
+        pair is racy across yields.
+        """
+        self._refill()
+        self._tokens -= amount
 
 
 class QosScheduler:
@@ -102,13 +130,15 @@ class QosScheduler:
         usage = self.usage[tenant]
         size = program.size_bytes()
 
-        # Rate gate: wait out the token deficit.
+        # Rate gate: atomically reserve the bytes, then wait out the
+        # deficit.  The reserve happens before any yield, so concurrent
+        # deploys of one tenant serialize at the configured rate
+        # instead of both sneaking under the same balance.
         bucket = self._buckets[tenant]
-        delay = bucket.delay_for(size)
+        delay = bucket.reserve(size)
         if delay > 0:
             usage.throttled_us += delay
             yield self.sim.timeout(delay)
-        bucket.take(size)
 
         # Priority lane onto the shared wire.
         grant = self._wire.request(priority=quota.priority)
@@ -123,5 +153,35 @@ class QosScheduler:
         usage.bytes_injected += size
         return report
 
+    def throttle_hint(self, tenant: str, size_bytes: float) -> float:
+        """Advisory wait (us) a ``size_bytes`` deploy would incur now.
+
+        A peek, not a reservation -- admission controllers use it to
+        shed requests whose rate deficit exceeds policy instead of
+        parking a worker on them.
+        """
+        quota = self._quotas.get(tenant)
+        if quota is None:
+            raise SecurityError(f"unknown tenant {tenant!r}")
+        return self._buckets[tenant].delay_for(size_bytes)
+
     def tenant_report(self) -> dict[str, TenantUsage]:
-        return dict(self.usage)
+        """Point-in-time *snapshot* of per-tenant accounting.
+
+        Returns copies, not the live accumulators: callers sampling
+        windows (benchmarks, billing sweeps) can hold two reports and
+        diff them without the second mutating under the first.
+        """
+        return {name: replace(usage) for name, usage in self.usage.items()}
+
+    def reset_usage(self) -> dict[str, TenantUsage]:
+        """Zero the accumulators; returns the final pre-reset snapshot.
+
+        The companion contract to :meth:`tenant_report` for windowed
+        sampling: ``reset_usage()`` at a window edge yields the closed
+        window's totals and opens a fresh one.
+        """
+        final = self.tenant_report()
+        for name in self.usage:
+            self.usage[name] = TenantUsage()
+        return final

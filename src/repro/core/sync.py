@@ -147,6 +147,12 @@ class RemoteSync:
 
     def _attempt(self, wr_factory, what: str) -> Generator:
         completion = yield self.qp.post_send(wr_factory())
+        # ibv_poll_cq discipline: the convenience event mirrors a CQE
+        # that also landed in the CQ.  Retire one entry per completed
+        # op, or a long-lived codeflow (the serving tier sustains
+        # thousands of deploys per QP) overruns the CQ -- a fatal
+        # async event -- after ``depth`` operations.
+        self.qp.cq.poll()
         self._check(completion, what)
         return completion
 
@@ -196,6 +202,7 @@ class RemoteSync:
 
     def _attempt_batch(self, wrs_factory, what: str) -> Generator:
         completion = yield self.qp.post_send_batch(wrs_factory())
+        self.qp.cq.poll()  # retire the chain's single CQE (see _attempt)
         self._check(completion, what)
         return completion
 

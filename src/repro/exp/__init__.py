@@ -15,6 +15,11 @@ from repro.exp.fig2c import run_fig2c
 from repro.exp.fig4a import run_fig4a
 from repro.exp.fig4b import run_fig4b
 from repro.exp.fig5 import run_fig5
+from repro.exp.serve_workload import (
+    ServeWorkloadResult,
+    ServeWorkloadSpec,
+    run_serve_workload,
+)
 from repro.exp.tab_redis import run_tab_redis
 from repro.exp.tab_mesh import run_tab_mesh
 from repro.exp.tab_broadcast import run_tab_broadcast
@@ -23,6 +28,8 @@ from repro.exp.tab_rollback import run_tab_rollback
 __all__ = [
     "FaultCampaignResult",
     "HbSchedulesResult",
+    "ServeWorkloadResult",
+    "ServeWorkloadSpec",
     "Testbed",
     "format_table",
     "make_testbed",
@@ -34,6 +41,7 @@ __all__ = [
     "run_fig4b",
     "run_fig5",
     "run_hb_schedules",
+    "run_serve_workload",
     "run_tab_broadcast",
     "run_tab_mesh",
     "run_tab_redis",

@@ -22,6 +22,7 @@ from repro.obs.cardinality import (
     UNSHARDED,
     drop_target_series,
     target_label,
+    tenant_label,
 )
 from repro.obs.exporters import (
     escape_label_value,
@@ -86,6 +87,7 @@ __all__ = [
     "reconstruct_deploy_traces",
     "target_label",
     "telemetry_of",
+    "tenant_label",
     "to_jsonl",
     "to_prometheus",
 ]

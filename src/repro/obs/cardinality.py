@@ -39,6 +39,21 @@ def target_label(target: str, shard: str = "") -> str:
     return shard or UNSHARDED
 
 
+def tenant_label(tenant: str, tenant_class: str) -> str:
+    """The ``tenant=`` label value to emit for ``tenant``.
+
+    Per-tenant labels are the same cardinality trap as per-target ones
+    -- a 1000-tenant serving mix would mint 1000 series per metric
+    name.  Under the default aggregation the label collapses to the
+    tenant's *priority class* (a handful of values by construction);
+    :data:`~repro.params.RDX_OBS_TARGET_LABELS` opts small runs back
+    into the per-tenant breakdown.
+    """
+    if params.RDX_OBS_TARGET_LABELS:
+        return tenant
+    return tenant_class or UNSHARDED
+
+
 def drop_target_series(registry, target: str, shard: str = "") -> int:
     """Retire every series labelled for ``target`` from ``registry``.
 

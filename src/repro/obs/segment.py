@@ -82,19 +82,32 @@ def bucket_of(value_us: float) -> int:
 
 
 class SegmentLayout:
-    """Field-name -> (offset, format) map over the fixed slot schema."""
+    """Field-name -> (offset, format) map over a fixed slot schema.
 
-    def __init__(self):
+    Defaults to the sandbox exec schema above; other planes (e.g. the
+    deploy service's serve segment) instantiate their own slot tuples
+    and get the same seqlock-bracketed wire format.
+    """
+
+    def __init__(
+        self,
+        counters: tuple[str, ...] = COUNTER_SLOTS,
+        gauges: tuple[str, ...] = GAUGE_SLOTS,
+        hists: tuple[str, ...] = HIST_SLOTS,
+    ):
+        self.counters = counters
+        self.gauges = gauges
+        self.hists = hists
         self.fields: dict[str, tuple[int, str]] = {}
         offset = SLOTS_BASE
-        for name in COUNTER_SLOTS:
+        for name in counters:
             self.fields[name] = (offset, "q")
             offset += 8
-        for name in GAUGE_SLOTS:
+        for name in gauges:
             fmt = "q" if name.endswith("_addr") else "d"
             self.fields[name] = (offset, fmt)
             offset += 8
-        for name in HIST_SLOTS:
+        for name in hists:
             for bucket in range(HIST_BUCKETS):
                 self.fields[f"{name}.bucket{bucket}"] = (offset, "q")
                 offset += 8

@@ -252,6 +252,44 @@ RDX_LINK_CACHE_LOOKUP_US = 0.2
 #: fleets.
 RDX_LINK_CACHE_CAP = 256
 
+# --------------------------------------------------------------------
+# Multi-tenant deploy service (serve/)
+# --------------------------------------------------------------------
+
+#: Max entries the warm linked-image pool retains (LRU).  Keyed by
+#: (program tag, arch, GOT-layout fingerprint) -- one entry per popular
+#: extension per distinct target layout, so this bounds control-plane
+#: memory the same way :data:`RDX_LINK_CACHE_CAP` does.
+RDX_WARM_POOL_CAP = int(os.environ.get("RDX_WARM_POOL_CAP", "512"))
+
+#: Cold deploys of one (tag, arch, layout) before the pool admits it.
+#: 1 = admit on first sight; higher values reserve pool slots for
+#: genuinely popular extensions.
+RDX_WARM_POOL_ADMIT_DEPLOYS = int(
+    os.environ.get("RDX_WARM_POOL_ADMIT_DEPLOYS", "1")
+)
+
+#: Warm-pool probe cost on the control plane, us: one index lookup
+#: plus re-fingerprinting the entry's relocations against the target's
+#: current layout (the certification that makes a hit byte-correct).
+RDX_WARM_POOL_LOOKUP_US = 0.3
+
+#: Deploy executors a :class:`repro.serve.DeployService` runs -- the
+#: service's concurrency, and the QoS wire width underneath it.
+RDX_SERVE_WORKERS = int(os.environ.get("RDX_SERVE_WORKERS", "8"))
+
+#: Default bounded queue depth per priority class.  Arrivals beyond
+#: this are shed (counted, never silent) in open-loop mode or block
+#: the producer in backpressure mode.
+RDX_SERVE_QUEUE_DEPTH = int(os.environ.get("RDX_SERVE_QUEUE_DEPTH", "64"))
+
+#: Admission-time throttle ceiling, us: a deploy whose class or tenant
+#: token-bucket deficit exceeds this is shed as ``rate-limited``
+#: instead of parking a worker on the wait.
+RDX_SERVE_MAX_THROTTLE_US = float(
+    os.environ.get("RDX_SERVE_MAX_THROTTLE_US", "50000")
+)
+
 #: TCP/gRPC request latency floor for control RPCs (agent path), us.
 #: Kernel network stack both sides + protobuf handling.
 RPC_BASE_LATENCY_US = 55.0
